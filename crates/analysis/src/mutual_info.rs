@@ -1,0 +1,150 @@
+//! Mutual-information security analysis (Equation 1 / Table I of the paper).
+//!
+//! The attacker observes ORAM response latencies and tries to learn whether
+//! the victim's requested block was served from the stash (behaviour `B =
+//! stash`) or from the ORAM tree (`B = tree`). Following the paper, the
+//! attacker's decision statistic is whether the observed latency is above or
+//! below the median latency. With
+//!
+//! * `p1 = P(longer-than-median | block in stash)` and
+//! * `p2 = P(longer-than-median | block in tree)`,
+//!
+//! the mutual information between behaviour and observation (assuming the
+//! two behaviours are a-priori equally likely) is Equation 1. A value close
+//! to zero means the timing channel leaks nothing: the attacker's posterior
+//! equals its prior.
+
+/// The observation-probability table (Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationProbabilities {
+    /// Probability of observing a longer-than-median latency when the
+    /// requested block was in the stash.
+    pub p1: f64,
+    /// Probability of observing a longer-than-median latency when the
+    /// requested block was in the ORAM tree.
+    pub p2: f64,
+}
+
+impl ObservationProbabilities {
+    /// Evaluates Equation 1 of the paper.
+    ///
+    /// Returns 0 for degenerate inputs (probabilities outside `(0, 1)` are
+    /// clamped so the logarithms stay finite; an exactly-equal pair yields
+    /// exactly zero).
+    pub fn mutual_information(&self) -> f64 {
+        let clamp = |p: f64| p.clamp(1e-12, 1.0 - 1e-12);
+        let p1 = clamp(self.p1);
+        let p2 = clamp(self.p2);
+        let term = |p: f64, avg: f64| {
+            if p == 0.0 || avg == 0.0 {
+                0.0
+            } else {
+                p / 2.0 * (p / avg).log2()
+            }
+        };
+        let avg_long = (p1 + p2) / 2.0;
+        let avg_short = (2.0 - p1 - p2) / 2.0;
+        let mi = term(p1, avg_long)
+            + term(p2, avg_long)
+            + term(1.0 - p1, avg_short)
+            + term(1.0 - p2, avg_short);
+        mi.max(0.0)
+    }
+}
+
+/// Estimates `(p1, p2)` and the mutual information from paired samples of
+/// `(was_in_stash, latency)` using the median latency as the attacker's
+/// decision threshold. Returns `None` when either behaviour class is empty
+/// (no estimate possible).
+pub fn estimate_from_samples(samples: &[(bool, f64)]) -> Option<(ObservationProbabilities, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let latencies: Vec<f64> = samples.iter().map(|&(_, l)| l).collect();
+    let median = crate::stats::median(&latencies);
+
+    let mut stash_total = 0u64;
+    let mut stash_long = 0u64;
+    let mut tree_total = 0u64;
+    let mut tree_long = 0u64;
+    for &(in_stash, latency) in samples {
+        let long = latency >= median;
+        if in_stash {
+            stash_total += 1;
+            stash_long += u64::from(long);
+        } else {
+            tree_total += 1;
+            tree_long += u64::from(long);
+        }
+    }
+    if stash_total == 0 || tree_total == 0 {
+        return None;
+    }
+    let probs = ObservationProbabilities {
+        p1: stash_long as f64 / stash_total as f64,
+        p2: tree_long as f64 / tree_total as f64,
+    };
+    Some((probs, probs.mutual_information()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_leak_nothing() {
+        let probs = ObservationProbabilities { p1: 0.5, p2: 0.5 };
+        assert!(probs.mutual_information() < 1e-12);
+    }
+
+    #[test]
+    fn fully_distinguishable_leaks_one_bit() {
+        let probs = ObservationProbabilities { p1: 1.0, p2: 0.0 };
+        let mi = probs.mutual_information();
+        assert!((mi - 1.0).abs() < 1e-6, "mi = {mi}");
+    }
+
+    #[test]
+    fn mild_skew_leaks_little() {
+        let probs = ObservationProbabilities { p1: 0.52, p2: 0.48 };
+        let mi = probs.mutual_information();
+        assert!(mi > 0.0);
+        assert!(mi < 0.01, "mi = {mi}");
+    }
+
+    #[test]
+    fn estimate_from_indistinguishable_samples() {
+        // Latency independent of behaviour: MI should be near zero.
+        let mut samples = Vec::new();
+        let mut x = 1u64;
+        for i in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let latency = (x >> 33) as f64 % 1000.0;
+            samples.push((i % 2 == 0, latency));
+        }
+        let (_, mi) = estimate_from_samples(&samples).unwrap();
+        assert!(mi < 0.002, "mi = {mi}");
+    }
+
+    #[test]
+    fn estimate_from_leaky_samples() {
+        // Stash hits always fast, tree accesses always slow: 1 bit leaked.
+        let samples: Vec<(bool, f64)> = (0..1000)
+            .map(|i| {
+                let in_stash = i % 2 == 0;
+                (in_stash, if in_stash { 10.0 } else { 1000.0 })
+            })
+            .collect();
+        let (probs, mi) = estimate_from_samples(&samples).unwrap();
+        assert!(probs.p1 < 0.01);
+        assert!(probs.p2 > 0.99);
+        assert!(mi > 0.9, "mi = {mi}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(estimate_from_samples(&[]).is_none());
+        let only_tree: Vec<(bool, f64)> = (0..10).map(|i| (false, i as f64)).collect();
+        assert!(estimate_from_samples(&only_tree).is_none());
+    }
+}

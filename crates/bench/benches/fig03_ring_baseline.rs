@@ -1,0 +1,27 @@
+//! Fig. 3 — RingORAM bandwidth utilisation and ORAM-sync cycle breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palermo_bench::{bench_config, report_config};
+use palermo_sim::figures::fig03;
+use palermo_sim::runner::run_workload;
+use palermo_sim::schemes::Scheme;
+use palermo_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig03::run(&report_config()).expect("fig03 run");
+    println!("{}", fig03::table(&rows).to_text());
+
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig03_ring_baseline");
+    group.sample_size(10);
+    group.bench_function("ringoram_mcf", |b| {
+        b.iter(|| run_workload(Scheme::RingOram, Workload::Mcf, &cfg).expect("run"));
+    });
+    group.bench_function("ringoram_random", |b| {
+        b.iter(|| run_workload(Scheme::RingOram, Workload::Random, &cfg).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 15 — area/power of the Palermo controller (analytical model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palermo_controller::area_power::{estimate, ControllerProvisioning};
+use palermo_sim::figures::fig15;
+use palermo_sim::system::SystemConfig;
+
+fn bench(c: &mut Criterion) {
+    let est = fig15::run(&SystemConfig::paper_default());
+    println!("{}", fig15::table(&est).to_text());
+
+    let mut group = c.benchmark_group("fig15_area_power");
+    group.bench_function("estimate_default", |b| {
+        b.iter(|| estimate(&ControllerProvisioning::default()));
+    });
+    group.bench_function("estimate_wide_mesh", |b| {
+        b.iter(|| {
+            estimate(&ControllerProvisioning {
+                pe_columns: 32,
+                ..ControllerProvisioning::default()
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the substrates the full-system results rest on: the
+//! DDR4 model's sequential vs random read throughput, the protocol layer's
+//! access-plan generation rate, and the workload generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use palermo_dram::{DramConfig, DramSystem, MemRequest};
+use palermo_oram::crypto::Payload;
+use palermo_oram::hierarchy::{HierarchicalOram, HierarchyConfig, ProtocolFlavor};
+use palermo_oram::params::{HierarchyParams, OramParams};
+use palermo_oram::types::{OramOp, PhysAddr};
+use palermo_workloads::Workload;
+
+fn dram_stream(sequential: bool, bursts: u64) -> u64 {
+    let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+    let mut issued = 0u64;
+    let mut done = 0u64;
+    let mut lcg: u64 = 0x243F_6A88_85A3_08D3;
+    while done < bursts {
+        while issued < bursts && dram.outstanding() < 96 {
+            let addr = if sequential {
+                issued * 64
+            } else {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (lcg >> 20) % (1 << 30) / 64 * 64
+            };
+            if !dram.try_enqueue(MemRequest::read(issued, addr)) {
+                break;
+            }
+            issued += 1;
+        }
+        dram.tick();
+        done += dram.drain_completed().len() as u64;
+    }
+    dram.cycle()
+}
+
+fn small_oram(flavor: ProtocolFlavor) -> HierarchicalOram {
+    let data = OramParams::builder().num_blocks(1 << 16).z(16).s(27).a(20).build().unwrap();
+    let params = HierarchyParams::derive(data, 4, 4).unwrap();
+    let mut cfg = HierarchyConfig::paper_default(flavor).unwrap();
+    cfg.params = params;
+    HierarchicalOram::new(cfg).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "DDR4 model: 4096 sequential reads in {} cycles, 4096 random reads in {} cycles",
+        dram_stream(true, 4096),
+        dram_stream(false, 4096)
+    );
+
+    let mut group = c.benchmark_group("substrate_microbench");
+    group.bench_function("dram_sequential_1k_reads", |b| {
+        b.iter(|| dram_stream(true, 1024));
+    });
+    group.bench_function("dram_random_1k_reads", |b| {
+        b.iter(|| dram_stream(false, 1024));
+    });
+
+    for flavor in [ProtocolFlavor::PathOram, ProtocolFlavor::RingOram, ProtocolFlavor::Palermo] {
+        group.bench_with_input(
+            BenchmarkId::new("plan_generation", format!("{flavor:?}")),
+            &flavor,
+            |b, &flavor| {
+                let mut oram = small_oram(flavor);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 97) % (1 << 16);
+                    oram.access(PhysAddr::new(i * 64), OramOp::Write, Some(Payload::from_u64(i)))
+                        .expect("access")
+                });
+            },
+        );
+    }
+
+    group.bench_function("workload_generation_llm_10k", |b| {
+        let mut stream = Workload::Llm.build(64 << 20, 7);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..10_000 {
+                sum = sum.wrapping_add(stream.next_access().addr.0);
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

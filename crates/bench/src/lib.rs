@@ -1,0 +1,43 @@
+//! # palermo-bench
+//!
+//! The Criterion benchmark harness that regenerates every table and figure
+//! of the Palermo evaluation. Each `benches/figNN_*.rs` target measures the
+//! wall-clock cost of the corresponding experiment at a reduced request
+//! budget *and* prints the experiment's result table once, so running
+//! `cargo bench` both exercises the simulator and reproduces the paper's
+//! rows (see `EXPERIMENTS.md` for the mapping and the recorded values).
+//!
+//! The shared helpers here keep the per-bench request budgets small enough
+//! for Criterion's repeated sampling while remaining large enough for the
+//! qualitative shape (who wins, by roughly what factor) to be stable.
+
+#![warn(missing_docs)]
+
+use palermo_sim::system::SystemConfig;
+
+/// The request budget used inside Criterion measurement loops.
+pub fn bench_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.measured_requests = 60;
+    cfg.warmup_requests = 15;
+    cfg
+}
+
+/// A slightly larger budget used for the one-shot table printed per bench.
+pub fn report_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.measured_requests = 150;
+    cfg.warmup_requests = 40;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configs_are_small_but_nonempty() {
+        assert!(bench_config().measured_requests < report_config().measured_requests);
+        assert!(bench_config().measured_requests >= 10);
+    }
+}

@@ -1,0 +1,623 @@
+//! The ORAM-controller timing engine.
+//!
+//! The engine executes [`AccessPlan`]s against the DRAM model. Plans carry
+//! their *intra-request* dependencies; the engine adds the *inter-request*
+//! ordering required by the scheduling policy:
+//!
+//! * [`SchedulePolicy::Serial`] — the multi-issue baseline controller used
+//!   for PathORAM, RingORAM, PageORAM, PrORAM and IR-ORAM: a request may
+//!   only begin once the previous request has finished all of its reads
+//!   (writes are posted), so ORAM requests are served one after another.
+//! * [`SchedulePolicy::PalermoMesh`] — the Palermo PE mesh: each request
+//!   occupies one PE column; a request's `LoadMetadata` at level ℓ may begin
+//!   as soon as the *previous* request's tree-modifying phases at level ℓ
+//!   (`EarlyReshuffle`, `EvictPath`) have been **issued**, which is the
+//!   minimal write-to-read critical section of §IV-B.
+//! * [`SchedulePolicy::PalermoSoftware`] — the software-only variant
+//!   (Palermo-SW): the same protocol but with coarse-grained synchronisation,
+//!   so the per-level hand-off waits for the predecessor's modifications to
+//!   **complete** and the position-map check is additionally serialised
+//!   behind the predecessor's PosMap1 read.
+
+use crate::stats::ControllerStats;
+use palermo_dram::{DramSystem, MemRequest};
+use palermo_oram::access_plan::{AccessPlan, PhaseKind, PlanNodeId};
+use palermo_oram::types::SubOram;
+use std::collections::HashMap;
+
+/// Inter-request scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// Serve ORAM requests one after the other (baseline controllers).
+    Serial,
+    /// Palermo protocol-hardware co-design: per-level wavefront overlap with
+    /// issue-time hand-off.
+    PalermoMesh,
+    /// Palermo protocol with software-style coarse synchronisation.
+    PalermoSoftware,
+}
+
+/// Static configuration of the controller engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+    /// Number of PE columns, i.e. ORAM requests that may be in flight
+    /// concurrently (Table III uses a 3×8 mesh; the serial baseline
+    /// effectively uses one column plus one staged request).
+    pub pe_columns: usize,
+    /// Maximum DRAM requests the controller may issue per cycle (port width
+    /// towards the memory controller).
+    pub issue_width: usize,
+}
+
+impl ControllerConfig {
+    /// The paper's Palermo configuration: 3×8 PE mesh.
+    pub fn palermo_default() -> Self {
+        ControllerConfig {
+            policy: SchedulePolicy::PalermoMesh,
+            pe_columns: 8,
+            issue_width: 16,
+        }
+    }
+
+    /// The serial multi-issue baseline controller.
+    pub fn serial_default() -> Self {
+        ControllerConfig {
+            policy: SchedulePolicy::Serial,
+            pe_columns: 2,
+            issue_width: 16,
+        }
+    }
+
+    /// The software-only Palermo variant.
+    pub fn palermo_sw_default() -> Self {
+        ControllerConfig {
+            policy: SchedulePolicy::PalermoSoftware,
+            pe_columns: 8,
+            issue_width: 16,
+        }
+    }
+}
+
+/// A retired ORAM request with its service timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishedRequest {
+    /// The protocol-level request id (`GlobalID`).
+    pub request_id: u64,
+    /// Cycle at which the controller accepted the request.
+    pub submitted_at: u64,
+    /// Cycle at which every phase of the request had finished.
+    pub finished_at: u64,
+    /// Whether the request was a controller-injected dummy.
+    pub is_dummy: bool,
+}
+
+impl FinishedRequest {
+    /// End-to-end ORAM response latency in controller cycles.
+    pub fn latency(&self) -> u64 {
+        self.finished_at.saturating_sub(self.submitted_at)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeRuntime {
+    pending_reads: Vec<u64>,
+    pending_writes: Vec<u64>,
+    outstanding_reads: usize,
+    compute_remaining: u32,
+    all_issued: bool,
+    complete: bool,
+}
+
+impl NodeRuntime {
+    fn new(reads: &[u64], writes: &[u64], compute: u32) -> Self {
+        NodeRuntime {
+            pending_reads: reads.to_vec(),
+            pending_writes: writes.to_vec(),
+            outstanding_reads: 0,
+            compute_remaining: compute,
+            all_issued: reads.is_empty() && writes.is_empty(),
+            complete: reads.is_empty() && writes.is_empty() && compute == 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InflightRequest {
+    plan: AccessPlan,
+    nodes: Vec<NodeRuntime>,
+    submitted_at: u64,
+    /// Per level: the request id of the previous request that also touches
+    /// that level (the west sibling in the PE mesh).
+    predecessor: [Option<u64>; SubOram::COUNT],
+}
+
+impl InflightRequest {
+    fn node_state(&self, id: PlanNodeId) -> &NodeRuntime {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn is_finished(&self) -> bool {
+        self.nodes.iter().all(|n| n.complete)
+    }
+
+    fn phase_issued(&self, sub: SubOram, phase: PhaseKind) -> bool {
+        match self.plan.node_id(sub, phase) {
+            Some(id) => self.node_state(id).all_issued,
+            None => true,
+        }
+    }
+
+    fn phase_complete(&self, sub: SubOram, phase: PhaseKind) -> bool {
+        match self.plan.node_id(sub, phase) {
+            Some(id) => self.node_state(id).complete,
+            None => true,
+        }
+    }
+
+    /// `true` once every phase that modifies level `sub`'s tree has been
+    /// issued (mesh policy) or completed (software policy).
+    fn tree_handoff(&self, sub: SubOram, require_complete: bool) -> bool {
+        if require_complete {
+            self.phase_complete(sub, PhaseKind::EarlyReshuffle)
+                && self.phase_complete(sub, PhaseKind::EvictPath)
+                && self.phase_complete(sub, PhaseKind::ReadPath)
+        } else {
+            self.phase_issued(sub, PhaseKind::EarlyReshuffle)
+                && self.phase_issued(sub, PhaseKind::EvictPath)
+        }
+    }
+
+    /// For the serial policy: all reads done, all writes handed to the
+    /// memory controller.
+    fn ordering_complete(&self) -> bool {
+        self.nodes.iter().all(|n| n.all_issued && n.outstanding_reads == 0)
+    }
+}
+
+/// The cycle-level ORAM controller model.
+#[derive(Debug)]
+pub struct OramController {
+    config: ControllerConfig,
+    inflight: Vec<InflightRequest>,
+    by_request_id: HashMap<u64, usize>,
+    /// Most recently submitted request id per level (for sibling chaining).
+    last_at_level: [Option<u64>; SubOram::COUNT],
+    /// DRAM request id -> (request id, node index).
+    outstanding_dram: HashMap<u64, (u64, u32)>,
+    next_dram_id: u64,
+    finished: Vec<FinishedRequest>,
+    stats: ControllerStats,
+}
+
+impl OramController {
+    /// Creates an idle controller.
+    pub fn new(config: ControllerConfig) -> Self {
+        OramController {
+            config,
+            inflight: Vec::new(),
+            by_request_id: HashMap::new(),
+            last_at_level: [None; SubOram::COUNT],
+            outstanding_dram: HashMap::new(),
+            next_dram_id: 0,
+            finished: Vec::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Number of ORAM requests currently being serviced.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Returns `true` if a new request can be accepted this cycle.
+    pub fn can_accept(&self) -> bool {
+        self.inflight.len() < self.config.pe_columns
+    }
+
+    /// Accumulated controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Offers a plan to the controller. Returns `false` (plan handed back via
+    /// the `Err`) when all PE columns are occupied.
+    pub fn try_submit(&mut self, plan: AccessPlan, cycle: u64) -> Result<(), AccessPlan> {
+        if !self.can_accept() {
+            return Err(plan);
+        }
+        let nodes = plan
+            .nodes
+            .iter()
+            .map(|n| NodeRuntime::new(&n.reads, &n.writes, n.compute_cycles))
+            .collect();
+        let mut predecessor = [None; SubOram::COUNT];
+        for sub in SubOram::ALL {
+            if plan.nodes.iter().any(|n| n.sub == sub) {
+                predecessor[sub.index()] = self.last_at_level[sub.index()];
+                self.last_at_level[sub.index()] = Some(plan.request_id);
+            }
+        }
+        self.by_request_id
+            .insert(plan.request_id, self.inflight.len());
+        self.stats.requests_accepted += 1;
+        self.inflight.push(InflightRequest {
+            nodes,
+            submitted_at: cycle,
+            predecessor,
+            plan,
+        });
+        Ok(())
+    }
+
+    /// Drains requests that retired since the last call.
+    pub fn drain_finished(&mut self) -> Vec<FinishedRequest> {
+        std::mem::take(&mut self.finished)
+    }
+
+    fn predecessor_allows(&self, req: &InflightRequest, sub: SubOram) -> bool {
+        let Some(pred_id) = req.predecessor[sub.index()] else {
+            return true;
+        };
+        let Some(&pred_idx) = self.by_request_id.get(&pred_id) else {
+            return true; // predecessor already retired
+        };
+        let pred = &self.inflight[pred_idx];
+        match self.config.policy {
+            SchedulePolicy::Serial => pred.ordering_complete(),
+            SchedulePolicy::PalermoMesh => pred.tree_handoff(sub, false),
+            SchedulePolicy::PalermoSoftware => {
+                // Coarse software locks: wait for the predecessor's tree
+                // modifications to complete, and serialise the recursion
+                // entry (PosMap2) behind the predecessor's PosMap1 read —
+                // the mutex around the PosMap check described in §IV-C.
+                let base = pred.tree_handoff(sub, true);
+                if sub == SubOram::Pos2 {
+                    base && pred.phase_complete(SubOram::Pos1, PhaseKind::ReadPath)
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when `node` of `req` may issue memory traffic.
+    fn node_ready(&self, req: &InflightRequest, node_idx: usize) -> bool {
+        let plan_node = &req.plan.nodes[node_idx];
+        // Intra-request dependencies.
+        if !plan_node
+            .deps
+            .iter()
+            .all(|d| req.node_state(*d).complete)
+        {
+            return false;
+        }
+        // Inter-request dependency applies to the first read phase of each
+        // level (LoadMetadata for Ring/Palermo, ReadPath for the Path family).
+        let gate_phase = match plan_node.phase {
+            PhaseKind::LoadMetadata => true,
+            PhaseKind::ReadPath => {
+                // Path-family plans have no LoadMetadata node; gate ReadPath.
+                req.plan
+                    .node_id(plan_node.sub, PhaseKind::LoadMetadata)
+                    .is_none()
+            }
+            _ => false,
+        };
+        if gate_phase && !self.predecessor_allows(req, plan_node.sub) {
+            return false;
+        }
+        true
+    }
+
+    /// Advances the controller by one cycle: consumes DRAM completions,
+    /// counts down compute latencies, issues ready memory operations and
+    /// retires finished requests.
+    pub fn tick(&mut self, dram: &mut DramSystem) {
+        let cycle = dram.cycle();
+        self.stats.cycles += 1;
+
+        // 1. Route DRAM completions back to their plan nodes.
+        for completion in dram.drain_completed() {
+            if let Some((req_id, node_idx)) = self.outstanding_dram.remove(&completion.id.0) {
+                if let Some(&idx) = self.by_request_id.get(&req_id) {
+                    let node = &mut self.inflight[idx].nodes[node_idx as usize];
+                    if !completion.kind.eq(&palermo_dram::MemOpKind::Write) {
+                        node.outstanding_reads = node.outstanding_reads.saturating_sub(1);
+                    }
+                }
+            }
+        }
+
+        // 2. Update node completion states (compute countdown happens once a
+        //    node's dependencies are met and its memory traffic is done).
+        for req in &mut self.inflight {
+            for i in 0..req.nodes.len() {
+                let deps_done = req.plan.nodes[i]
+                    .deps
+                    .iter()
+                    .all(|d| req.nodes[d.0 as usize].complete);
+                let node = &mut req.nodes[i];
+                if node.complete {
+                    continue;
+                }
+                if node.all_issued && node.outstanding_reads == 0 && deps_done {
+                    if node.compute_remaining > 0 {
+                        node.compute_remaining -= 1;
+                    }
+                    if node.compute_remaining == 0 {
+                        node.complete = true;
+                    }
+                }
+            }
+        }
+
+        // 3. Issue ready memory operations, oldest request first.
+        let mut issued_this_cycle = 0usize;
+        let mut blocked_levels = [false; SubOram::COUNT];
+        let mut any_pending = false;
+        for idx in 0..self.inflight.len() {
+            if issued_this_cycle >= self.config.issue_width {
+                break;
+            }
+            for node_idx in 0..self.inflight[idx].plan.nodes.len() {
+                if issued_this_cycle >= self.config.issue_width {
+                    break;
+                }
+                let has_pending = {
+                    let n = &self.inflight[idx].nodes[node_idx];
+                    !n.pending_reads.is_empty() || !n.pending_writes.is_empty()
+                };
+                if !has_pending {
+                    continue;
+                }
+                any_pending = true;
+                let ready = self.node_ready(&self.inflight[idx], node_idx);
+                let sub = self.inflight[idx].plan.nodes[node_idx].sub;
+                if !ready {
+                    blocked_levels[sub.index()] = true;
+                    continue;
+                }
+                // Issue as many of this node's operations as the memory
+                // controller will take this cycle.
+                let req = &mut self.inflight[idx];
+                let node = &mut req.nodes[node_idx];
+                while issued_this_cycle < self.config.issue_width {
+                    let (addr, is_write) = if let Some(&a) = node.pending_reads.first() {
+                        (a, false)
+                    } else if let Some(&a) = node.pending_writes.first() {
+                        (a, true)
+                    } else {
+                        break;
+                    };
+                    let dram_id = self.next_dram_id;
+                    let mem_req = if is_write {
+                        MemRequest::write(dram_id, addr)
+                    } else {
+                        MemRequest::read(dram_id, addr)
+                    };
+                    if !dram.try_enqueue(mem_req) {
+                        break;
+                    }
+                    self.next_dram_id += 1;
+                    issued_this_cycle += 1;
+                    if is_write {
+                        node.pending_writes.remove(0);
+                        self.stats.dram_writes_issued += 1;
+                    } else {
+                        node.pending_reads.remove(0);
+                        node.outstanding_reads += 1;
+                        self.stats.dram_reads_issued += 1;
+                        self.outstanding_dram
+                            .insert(dram_id, (req.plan.request_id, node_idx as u32));
+                    }
+                    if node.pending_reads.is_empty() && node.pending_writes.is_empty() {
+                        node.all_issued = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 4. Stall accounting for the Fig. 3 breakdown: a cycle in which the
+        //    controller had work but could not issue anything, while the
+        //    memory queues were starved, is an ORAM-sync stall attributed to
+        //    the levels whose nodes were dependency-blocked.
+        if issued_this_cycle == 0 && any_pending && dram.queued() < 4 {
+            self.stats.sync_stall_cycles += 1;
+            for sub in SubOram::ALL {
+                if blocked_levels[sub.index()] {
+                    self.stats.sync_stall_by_level[sub.index()] += 1;
+                }
+            }
+        } else if issued_this_cycle > 0 {
+            self.stats.issue_cycles += 1;
+        }
+        self.stats.issued_ops += issued_this_cycle as u64;
+
+        // 5. Retire finished requests.
+        let mut idx = 0;
+        while idx < self.inflight.len() {
+            if self.inflight[idx].is_finished() {
+                let req = self.inflight.remove(idx);
+                self.by_request_id.remove(&req.plan.request_id);
+                self.stats.requests_finished += 1;
+                self.finished.push(FinishedRequest {
+                    request_id: req.plan.request_id,
+                    submitted_at: req.submitted_at,
+                    finished_at: cycle,
+                    is_dummy: req.plan.is_dummy,
+                });
+            } else {
+                idx += 1;
+            }
+        }
+        // Rebuild the index map after removals (indices shifted).
+        if !self.finished.is_empty() {
+            self.by_request_id.clear();
+            for (i, req) in self.inflight.iter().enumerate() {
+                self.by_request_id.insert(req.plan.request_id, i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palermo_dram::DramConfig;
+    use palermo_oram::access_plan::AccessPlanBuilder;
+    use palermo_oram::types::{OramOp, PhysAddr};
+
+    /// Spreads plan base addresses across DRAM banks and rows the way real
+    /// ORAM traffic does (random leaf selection); a regular power-of-two
+    /// stride would alias every plan onto one bank and measure bank-conflict
+    /// serialisation instead of controller behaviour.
+    fn scattered_base(i: u64) -> u64 {
+        (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 34) << 6
+    }
+
+    fn simple_plan(id: u64, base_addr: u64, reads_per_node: usize) -> AccessPlan {
+        let mut b = AccessPlanBuilder::new(id, PhysAddr::new(0), OramOp::Read);
+        let mut addr = base_addr;
+        let mut mk = |n: usize| {
+            let v: Vec<u64> = (0..n).map(|i| addr + i as u64 * 64).collect();
+            addr += n as u64 * 64;
+            v
+        };
+        let lm2 = b.push(SubOram::Pos2, PhaseKind::LoadMetadata, mk(reads_per_node), vec![], vec![], 0);
+        let rp2 = b.push(SubOram::Pos2, PhaseKind::ReadPath, mk(reads_per_node), vec![], vec![lm2], 2);
+        let er2 = b.push(SubOram::Pos2, PhaseKind::EarlyReshuffle, vec![], mk(2), vec![lm2], 0);
+        let lm1 = b.push(SubOram::Pos1, PhaseKind::LoadMetadata, mk(reads_per_node), vec![], vec![rp2], 0);
+        let rp1 = b.push(SubOram::Pos1, PhaseKind::ReadPath, mk(reads_per_node), vec![], vec![lm1], 2);
+        let lm0 = b.push(SubOram::Data, PhaseKind::LoadMetadata, mk(reads_per_node), vec![], vec![rp1], 0);
+        let _rp0 = b.push(SubOram::Data, PhaseKind::ReadPath, mk(reads_per_node), vec![], vec![lm0], 2);
+        let _ = er2;
+        b.build()
+    }
+
+    fn run_to_completion(
+        controller: &mut OramController,
+        dram: &mut DramSystem,
+        plans: Vec<AccessPlan>,
+        limit: u64,
+    ) -> Vec<FinishedRequest> {
+        let mut queue: std::collections::VecDeque<AccessPlan> = plans.into();
+        let total = queue.len();
+        let mut finished = Vec::new();
+        while finished.len() < total {
+            if let Some(plan) = queue.pop_front() {
+                if let Err(plan) = controller.try_submit(plan, dram.cycle()) {
+                    queue.push_front(plan);
+                }
+            }
+            controller.tick(dram);
+            dram.tick();
+            finished.extend(controller.drain_finished());
+            assert!(dram.cycle() < limit, "simulation did not converge");
+        }
+        finished
+    }
+
+    #[test]
+    fn single_plan_completes() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+        let mut ctrl = OramController::new(ControllerConfig::serial_default());
+        let finished = run_to_completion(&mut ctrl, &mut dram, vec![simple_plan(0, 0, 4)], 100_000);
+        assert_eq!(finished.len(), 1);
+        assert!(finished[0].latency() > 0);
+        assert_eq!(ctrl.stats().requests_finished, 1);
+        assert_eq!(ctrl.inflight(), 0);
+    }
+
+    #[test]
+    fn serial_policy_orders_requests() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+        let mut ctrl = OramController::new(ControllerConfig::serial_default());
+        let plans: Vec<AccessPlan> = (0..4).map(|i| simple_plan(i, scattered_base(i), 4)).collect();
+        let finished = run_to_completion(&mut ctrl, &mut dram, plans, 500_000);
+        assert_eq!(finished.len(), 4);
+        // Completion order must match submission order for the serial policy.
+        let order: Vec<u64> = finished.iter().map(|f| f.request_id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn palermo_mesh_overlaps_requests() {
+        // The same plan stream must finish in fewer cycles under the mesh
+        // policy than under the serial policy — the core co-design claim.
+        let run = |config: ControllerConfig| {
+            let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+            let mut ctrl = OramController::new(config);
+            let plans: Vec<AccessPlan> = (0..24).map(|i| simple_plan(i, scattered_base(i), 16)).collect();
+            run_to_completion(&mut ctrl, &mut dram, plans, 2_000_000);
+            dram.cycle()
+        };
+        let serial = run(ControllerConfig::serial_default());
+        let mesh = run(ControllerConfig::palermo_default());
+        assert!(
+            (mesh as f64) < serial as f64 * 0.8,
+            "mesh {mesh} not faster than serial {serial}"
+        );
+    }
+
+    #[test]
+    fn palermo_sw_is_between_serial_and_mesh() {
+        let run = |config: ControllerConfig| {
+            let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+            let mut ctrl = OramController::new(config);
+            let plans: Vec<AccessPlan> = (0..24).map(|i| simple_plan(i, scattered_base(i), 16)).collect();
+            run_to_completion(&mut ctrl, &mut dram, plans, 2_000_000);
+            dram.cycle()
+        };
+        let serial = run(ControllerConfig::serial_default());
+        let sw = run(ControllerConfig::palermo_sw_default());
+        let mesh = run(ControllerConfig::palermo_default());
+        assert!(mesh <= sw, "mesh {mesh} vs sw {sw}");
+        assert!(sw <= serial, "sw {sw} vs serial {serial}");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut ctrl = OramController::new(ControllerConfig {
+            policy: SchedulePolicy::PalermoMesh,
+            pe_columns: 2,
+            issue_width: 8,
+        });
+        assert!(ctrl.try_submit(simple_plan(0, 0, 2), 0).is_ok());
+        assert!(ctrl.try_submit(simple_plan(1, scattered_base(1), 2), 0).is_ok());
+        assert!(!ctrl.can_accept());
+        assert!(ctrl.try_submit(simple_plan(2, scattered_base(2), 2), 0).is_err());
+        assert_eq!(ctrl.inflight(), 2);
+    }
+
+    #[test]
+    fn stats_track_issue_and_stall_cycles() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+        let mut ctrl = OramController::new(ControllerConfig::serial_default());
+        run_to_completion(&mut ctrl, &mut dram, vec![simple_plan(0, 0, 8), simple_plan(1, scattered_base(1), 8)], 200_000);
+        let stats = ctrl.stats();
+        assert!(stats.dram_reads_issued > 0);
+        assert!(stats.dram_writes_issued > 0);
+        assert!(stats.cycles > 0);
+        assert!(stats.sync_stall_cycles > 0, "serial execution must stall");
+        assert_eq!(stats.requests_accepted, 2);
+        assert_eq!(stats.requests_finished, 2);
+    }
+
+    #[test]
+    fn finished_latency_is_consistent() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+        let mut ctrl = OramController::new(ControllerConfig::palermo_default());
+        let finished = run_to_completion(&mut ctrl, &mut dram, vec![simple_plan(3, 0, 4)], 100_000);
+        assert_eq!(finished[0].request_id, 3);
+        assert!(finished[0].finished_at >= finished[0].submitted_at);
+        assert!(!finished[0].is_dummy);
+    }
+}

@@ -1,0 +1,135 @@
+//! Physical-address to DRAM-coordinate mapping.
+//!
+//! The mapping interleaves consecutive 64-byte bursts across channels first,
+//! then across columns within a row, then bank groups and banks, with the
+//! row index in the most significant bits:
+//!
+//! ```text
+//!   | row | bank | bank group | column | channel | 6-bit offset |
+//! ```
+//!
+//! Consecutive blocks of an ORAM bucket therefore spread across channels
+//! (memory-level parallelism within a bucket read) while staying within one
+//! DRAM row per channel (row-buffer locality for reshuffles and evictions),
+//! matching the locality structure the paper's row-hit statistics imply.
+
+use crate::config::DramConfig;
+
+/// Decomposed DRAM coordinates of one 64-byte burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Bank group index within the rank.
+    pub bank_group: u32,
+    /// Bank index within the bank group.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (burst) index within the row.
+    pub column: u64,
+}
+
+impl DramCoord {
+    /// Flat bank index within the channel (bank group major).
+    pub fn flat_bank(&self, config: &DramConfig) -> usize {
+        (self.bank_group * config.banks_per_group + self.bank) as usize
+    }
+}
+
+/// The address-mapping function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapper {
+    config: DramConfig,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for the given configuration.
+    pub fn new(config: DramConfig) -> Self {
+        AddressMapper { config }
+    }
+
+    /// Maps a byte address to DRAM coordinates.
+    pub fn map(&self, addr: u64) -> DramCoord {
+        let cfg = &self.config;
+        let mut a = addr / cfg.burst_bytes;
+        let channel = (a % u64::from(cfg.channels)) as u32;
+        a /= u64::from(cfg.channels);
+        let column = a % cfg.columns_per_row();
+        a /= cfg.columns_per_row();
+        let bank_group = (a % u64::from(cfg.bank_groups)) as u32;
+        a /= u64::from(cfg.bank_groups);
+        let bank = (a % u64::from(cfg.banks_per_group)) as u32;
+        a /= u64::from(cfg.banks_per_group);
+        let row = a % cfg.rows;
+        DramCoord {
+            channel,
+            bank_group,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper() -> AddressMapper {
+        AddressMapper::new(DramConfig::default())
+    }
+
+    #[test]
+    fn consecutive_blocks_interleave_channels() {
+        let m = mapper();
+        let coords: Vec<u32> = (0..8).map(|i| m.map(i * 64).channel).collect();
+        assert_eq!(coords, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn blocks_within_a_row_share_row_and_bank() {
+        let m = mapper();
+        // Blocks 0, 4, 8, ... land in channel 0 and walk the columns of one row.
+        let a = m.map(0);
+        let b = m.map(4 * 64);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank_group, b.bank_group);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn row_change_after_row_bytes_times_channels() {
+        let m = mapper();
+        let cfg = DramConfig::default();
+        let span = cfg.row_bytes * u64::from(cfg.channels);
+        let a = m.map(0);
+        let b = m.map(span);
+        assert_eq!(a.channel, b.channel);
+        assert!(a.bank_group != b.bank_group || a.bank != b.bank || a.row != b.row);
+    }
+
+    #[test]
+    fn sub_block_offsets_map_to_same_burst() {
+        let m = mapper();
+        assert_eq!(m.map(0), m.map(63));
+        assert_ne!(m.map(0), m.map(64));
+    }
+
+    #[test]
+    fn coordinates_within_bounds() {
+        let m = mapper();
+        let cfg = DramConfig::default();
+        for i in 0..10_000u64 {
+            let c = m.map(i * 64 * 977);
+            assert!(c.channel < cfg.channels);
+            assert!(c.bank_group < cfg.bank_groups);
+            assert!(c.bank < cfg.banks_per_group);
+            assert!(c.row < cfg.rows);
+            assert!(c.column < cfg.columns_per_row());
+            assert!(c.flat_bank(&cfg) < cfg.banks_per_channel() as usize);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! One DRAM channel: bank state machines plus an FR-FCFS scheduler.
+//!
+//! Every cycle the channel may issue at most one command on its command bus.
+//! The scheduler follows the standard FR-FCFS policy: column commands to
+//! already-open rows first (oldest first), then activates, then precharges
+//! for conflicting rows. Data-bus occupancy is enforced by spacing column
+//! commands at least a burst apart, which bounds the achievable bandwidth at
+//! the DDR4 peak and makes the bandwidth-utilisation statistics meaningful.
+
+use crate::address::DramCoord;
+use crate::config::DramConfig;
+use crate::request::{MemCompletion, MemOpKind, MemRequest, RowBufferResult};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    next_activate: u64,
+    next_precharge: u64,
+    next_column: u64,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    req: MemRequest,
+    coord: DramCoord,
+    enqueued_at: u64,
+    row_result: Option<RowBufferResult>,
+}
+
+/// Per-channel statistics counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Read bursts completed.
+    pub reads: u64,
+    /// Write bursts issued.
+    pub writes: u64,
+    /// Column accesses that found their row open.
+    pub row_hits: u64,
+    /// Column accesses that only needed an activate.
+    pub row_misses: u64,
+    /// Column accesses that had to close another row first.
+    pub row_conflicts: u64,
+    /// Cycles the data bus was transferring data.
+    pub data_bus_busy_cycles: u64,
+    /// Sum over cycles of the number of queued requests.
+    pub queue_occupancy_sum: u64,
+    /// Sum of read latencies (enqueue to data return), cycles.
+    pub read_latency_sum: u64,
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+}
+
+/// A single DRAM channel with its banks, queue and scheduler.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    config: DramConfig,
+    banks: Vec<BankState>,
+    queue: VecDeque<QueuedRequest>,
+    /// Earliest cycle the next column command may issue (data-bus spacing).
+    next_column_cmd: u64,
+    /// Cycle and bank group of the last column command (tCCD_L).
+    last_column: Option<(u64, u32)>,
+    /// Cycle and bank group of the last activate (tRRD).
+    last_activate: Option<(u64, u32)>,
+    /// Recent activate cycles for the tFAW window.
+    recent_activates: VecDeque<u64>,
+    /// Reads waiting for their data to come back.
+    in_flight_reads: Vec<(u64, MemCompletion)>,
+    completed: Vec<MemCompletion>,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates an idle channel.
+    pub fn new(config: DramConfig) -> Self {
+        Channel {
+            banks: vec![BankState::default(); config.banks_per_channel() as usize],
+            queue: VecDeque::with_capacity(config.queue_capacity),
+            next_column_cmd: 0,
+            last_column: None,
+            last_activate: None,
+            recent_activates: VecDeque::with_capacity(4),
+            in_flight_reads: Vec::new(),
+            completed: Vec::new(),
+            stats: ChannelStats::default(),
+            config,
+        }
+    }
+
+    /// Returns `true` if the queue has space for another request.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.config.queue_capacity
+    }
+
+    /// Number of requests currently queued (not yet issued to a bank).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of requests queued or waiting for data return.
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.in_flight_reads.len()
+    }
+
+    /// Per-channel statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Enqueues a request. Returns `false` (and drops nothing) if the queue
+    /// is full; the caller must retry later.
+    pub fn enqueue(&mut self, req: MemRequest, coord: DramCoord, cycle: u64) -> bool {
+        if !self.can_accept() {
+            return false;
+        }
+        self.queue.push_back(QueuedRequest {
+            req,
+            coord,
+            enqueued_at: cycle,
+            row_result: None,
+        });
+        true
+    }
+
+    /// Drains completions accumulated since the last call.
+    pub fn drain_completed(&mut self) -> Vec<MemCompletion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn faw_allows(&self, cycle: u64) -> bool {
+        if self.recent_activates.len() < 4 {
+            return true;
+        }
+        let oldest = self.recent_activates[self.recent_activates.len() - 4];
+        cycle >= oldest + self.config.t_faw
+    }
+
+    fn rrd_allows(&self, cycle: u64, bank_group: u32) -> bool {
+        match self.last_activate {
+            Some((when, group)) => {
+                let gap = if group == bank_group {
+                    self.config.t_rrd_l
+                } else {
+                    self.config.t_rrd_s
+                };
+                cycle >= when + gap
+            }
+            None => true,
+        }
+    }
+
+    fn ccd_allows(&self, cycle: u64, bank_group: u32) -> bool {
+        if cycle < self.next_column_cmd {
+            return false;
+        }
+        match self.last_column {
+            Some((when, group)) if group == bank_group => cycle >= when + self.config.t_ccd_l,
+            _ => true,
+        }
+    }
+
+    /// Advances the channel by one cycle.
+    pub fn tick(&mut self, cycle: u64) {
+        // Retire reads whose data has returned.
+        let mut i = 0;
+        while i < self.in_flight_reads.len() {
+            if self.in_flight_reads[i].0 <= cycle {
+                let (_, completion) = self.in_flight_reads.swap_remove(i);
+                self.stats.read_latency_sum += completion.latency();
+                self.completed.push(completion);
+            } else {
+                i += 1;
+            }
+        }
+
+        self.stats.queue_occupancy_sum += self.queue.len() as u64;
+        if self.queue.is_empty() {
+            return;
+        }
+
+        // Pass 1 (FR): oldest request whose row is open and column timing allows.
+        if let Some(idx) = self.find_column_ready(cycle) {
+            self.issue_column(idx, cycle);
+            return;
+        }
+        // Pass 2 (FCFS): oldest request needing an activate on a closed bank.
+        if let Some(idx) = self.find_activate_ready(cycle) {
+            self.issue_activate(idx, cycle);
+            return;
+        }
+        // Pass 3: oldest request blocked behind a conflicting open row.
+        if let Some(idx) = self.find_precharge_ready(cycle) {
+            self.issue_precharge(idx, cycle);
+        }
+    }
+
+    fn find_column_ready(&self, cycle: u64) -> Option<usize> {
+        self.queue.iter().position(|q| {
+            let bank = &self.banks[q.coord.flat_bank(&self.config)];
+            bank.open_row == Some(q.coord.row)
+                && cycle >= bank.next_column
+                && self.ccd_allows(cycle, q.coord.bank_group)
+        })
+    }
+
+    fn find_activate_ready(&self, cycle: u64) -> Option<usize> {
+        if !self.faw_allows(cycle) {
+            return None;
+        }
+        self.queue.iter().position(|q| {
+            let bank = &self.banks[q.coord.flat_bank(&self.config)];
+            bank.open_row.is_none()
+                && cycle >= bank.next_activate
+                && self.rrd_allows(cycle, q.coord.bank_group)
+        })
+    }
+
+    fn find_precharge_ready(&self, cycle: u64) -> Option<usize> {
+        self.queue.iter().position(|q| {
+            let bank = &self.banks[q.coord.flat_bank(&self.config)];
+            matches!(bank.open_row, Some(row) if row != q.coord.row) && cycle >= bank.next_precharge
+        })
+    }
+
+    fn issue_column(&mut self, idx: usize, cycle: u64) {
+        let q = self.queue.remove(idx).expect("index from position()");
+        let cfg = self.config;
+        let bank = &mut self.banks[q.coord.flat_bank(&cfg)];
+        let row_result = q.row_result.unwrap_or(RowBufferResult::Hit);
+        match row_result {
+            RowBufferResult::Hit => self.stats.row_hits += 1,
+            RowBufferResult::Miss => self.stats.row_misses += 1,
+            RowBufferResult::Conflict => self.stats.row_conflicts += 1,
+        }
+
+        self.next_column_cmd = cycle + cfg.t_ccd_s.max(cfg.t_bl);
+        self.last_column = Some((cycle, q.coord.bank_group));
+        self.stats.data_bus_busy_cycles += cfg.t_bl;
+
+        match q.req.kind {
+            MemOpKind::Read => {
+                let data_ready = cycle + cfg.t_cl + cfg.t_bl;
+                bank.next_precharge = bank.next_precharge.max(cycle + cfg.t_rtp);
+                bank.next_column = bank.next_column.max(cycle + cfg.t_ccd_l);
+                self.stats.reads += 1;
+                self.in_flight_reads.push((
+                    data_ready,
+                    MemCompletion {
+                        id: q.req.id,
+                        addr: q.req.addr,
+                        kind: MemOpKind::Read,
+                        enqueued_at: q.enqueued_at,
+                        completed_at: data_ready,
+                        row_result,
+                    },
+                ));
+            }
+            MemOpKind::Write => {
+                let burst_end = cycle + cfg.t_cwl + cfg.t_bl;
+                bank.next_precharge = bank.next_precharge.max(burst_end + cfg.t_wr);
+                bank.next_column = bank.next_column.max(burst_end + cfg.t_wtr);
+                self.stats.writes += 1;
+                self.completed.push(MemCompletion {
+                    id: q.req.id,
+                    addr: q.req.addr,
+                    kind: MemOpKind::Write,
+                    enqueued_at: q.enqueued_at,
+                    completed_at: cycle,
+                    row_result,
+                });
+            }
+        }
+    }
+
+    fn issue_activate(&mut self, idx: usize, cycle: u64) {
+        let cfg = self.config;
+        let (flat_bank, row, bank_group) = {
+            let q = &mut self.queue[idx];
+            if q.row_result.is_none() {
+                q.row_result = Some(RowBufferResult::Miss);
+            }
+            (q.coord.flat_bank(&cfg), q.coord.row, q.coord.bank_group)
+        };
+        let bank = &mut self.banks[flat_bank];
+        bank.open_row = Some(row);
+        bank.next_column = cycle + cfg.t_rcd;
+        bank.next_precharge = cycle + cfg.t_ras;
+        bank.next_activate = cycle + cfg.t_rc;
+        self.last_activate = Some((cycle, bank_group));
+        self.recent_activates.push_back(cycle);
+        while self.recent_activates.len() > 8 {
+            self.recent_activates.pop_front();
+        }
+        self.stats.activates += 1;
+    }
+
+    fn issue_precharge(&mut self, idx: usize, cycle: u64) {
+        let cfg = self.config;
+        let flat_bank = {
+            let q = &mut self.queue[idx];
+            q.row_result = Some(RowBufferResult::Conflict);
+            q.coord.flat_bank(&cfg)
+        };
+        let bank = &mut self.banks[flat_bank];
+        bank.open_row = None;
+        bank.next_activate = bank.next_activate.max(cycle + cfg.t_rp);
+        self.stats.precharges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::AddressMapper;
+
+    fn channel_and_mapper() -> (Channel, AddressMapper) {
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        (Channel::new(cfg), AddressMapper::new(cfg))
+    }
+
+    fn run_until_complete(ch: &mut Channel, expected: usize, limit: u64) -> Vec<MemCompletion> {
+        let mut done = Vec::new();
+        let mut cycle = 0;
+        while done.len() < expected && cycle < limit {
+            ch.tick(cycle);
+            done.extend(ch.drain_completed());
+            cycle += 1;
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_latency_matches_act_rcd_cl() {
+        let (mut ch, m) = channel_and_mapper();
+        let addr = 0x10_000;
+        assert!(ch.enqueue(MemRequest::read(1, addr), m.map(addr), 0));
+        let done = run_until_complete(&mut ch, 1, 1000);
+        assert_eq!(done.len(), 1);
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        // ACT at cycle 0, column at tRCD, data at tRCD + tCL + tBL.
+        assert_eq!(done[0].completed_at, cfg.t_rcd + cfg.t_cl + cfg.t_bl);
+        assert_eq!(done[0].row_result, RowBufferResult::Miss);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_hit() {
+        let (mut ch, m) = channel_and_mapper();
+        let a = 0x10_000;
+        let b = a + 64; // single channel: next burst, same row
+        assert!(ch.enqueue(MemRequest::read(1, a), m.map(a), 0));
+        assert!(ch.enqueue(MemRequest::read(2, b), m.map(b), 0));
+        let done = run_until_complete(&mut ch, 2, 2000);
+        assert_eq!(done.len(), 2);
+        let second = done.iter().find(|c| c.id.0 == 2).unwrap();
+        assert_eq!(second.row_result, RowBufferResult::Hit);
+        assert_eq!(ch.stats().row_hits, 1);
+        assert_eq!(ch.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn row_conflict_requires_precharge() {
+        let (mut ch, m) = channel_and_mapper();
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        let a = 0;
+        // Same bank, different row: one full row's worth of bursts away
+        // times bank interleaving span.
+        let b = cfg.row_bytes
+            * u64::from(cfg.channels)
+            * u64::from(cfg.bank_groups)
+            * u64::from(cfg.banks_per_group);
+        let (ca, cb) = (m.map(a), m.map(b));
+        assert_eq!(ca.flat_bank(&cfg), cb.flat_bank(&cfg));
+        assert_ne!(ca.row, cb.row);
+        assert!(ch.enqueue(MemRequest::read(1, a), ca, 0));
+        assert!(ch.enqueue(MemRequest::read(2, b), cb, 0));
+        let done = run_until_complete(&mut ch, 2, 5000);
+        let second = done.iter().find(|c| c.id.0 == 2).unwrap();
+        assert_eq!(second.row_result, RowBufferResult::Conflict);
+        assert!(second.completed_at > done[0].completed_at);
+        assert!(ch.stats().precharges >= 1);
+    }
+
+    #[test]
+    fn writes_complete_as_posted() {
+        let (mut ch, m) = channel_and_mapper();
+        let addr = 0x40_000;
+        assert!(ch.enqueue(MemRequest::write(7, addr), m.map(addr), 0));
+        let done = run_until_complete(&mut ch, 1, 1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, MemOpKind::Write);
+        assert_eq!(ch.stats().writes, 1);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let (mut ch, m) = channel_and_mapper();
+        let cap = DramConfig::ddr4_3200_single_channel().queue_capacity;
+        for i in 0..cap {
+            assert!(ch.enqueue(
+                MemRequest::read(i as u64, i as u64 * 64),
+                m.map(i as u64 * 64),
+                0
+            ));
+        }
+        assert!(!ch.can_accept());
+        assert!(!ch.enqueue(MemRequest::read(999, 0), m.map(0), 0));
+        assert_eq!(ch.queue_len(), cap);
+    }
+
+    #[test]
+    fn independent_banks_overlap() {
+        // Requests to different banks should take far less than the sum of
+        // their isolated latencies.
+        let (mut ch, m) = channel_and_mapper();
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        let bank_stride = cfg.row_bytes * u64::from(cfg.channels);
+        for i in 0..8u64 {
+            let addr = i * bank_stride;
+            assert!(ch.enqueue(MemRequest::read(i, addr), m.map(addr), 0));
+        }
+        let done = run_until_complete(&mut ch, 8, 10_000);
+        let last = done.iter().map(|c| c.completed_at).max().unwrap();
+        let isolated = cfg.t_rcd + cfg.t_cl + cfg.t_bl;
+        assert!(
+            last < isolated * 8 / 2,
+            "bank-level parallelism missing: {last} cycles for 8 requests"
+        );
+    }
+
+    #[test]
+    fn throughput_respects_data_bus_limit() {
+        // A long stream of row hits cannot exceed one burst per tBL cycles.
+        let (mut ch, m) = channel_and_mapper();
+        let mut issued = 0u64;
+        let mut completed = 0usize;
+        let mut cycle = 0u64;
+        let total = 200u64;
+        while completed < total as usize {
+            while issued < total && ch.can_accept() {
+                let addr = issued * 64;
+                ch.enqueue(MemRequest::read(issued, addr), m.map(addr), cycle);
+                issued += 1;
+            }
+            ch.tick(cycle);
+            completed += ch.drain_completed().len();
+            cycle += 1;
+            assert!(cycle < 100_000, "stalled");
+        }
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        let min_cycles = total * cfg.t_bl;
+        assert!(
+            cycle as u64 >= min_cycles,
+            "exceeded peak bandwidth: {cycle} < {min_cycles}"
+        );
+        // ...but should stay within ~2x of peak for a pure streaming pattern.
+        assert!(
+            (cycle as u64) < min_cycles * 3,
+            "streaming far below peak: {cycle} vs {min_cycles}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! DRAM organisation and timing configuration.
+//!
+//! Defaults model the paper's outsourced memory: 4 channels of DDR4-3200
+//! (Table III), 102.4 GB/s aggregate peak bandwidth. All timing parameters
+//! are expressed in memory-clock cycles at 1600 MHz (0.625 ns per cycle),
+//! which is also the clock the Palermo controller runs at, so the two sides
+//! of the co-design share a clock domain in the simulator exactly as they do
+//! in the paper's evaluation.
+
+/// Organisation and timing of the modelled DRAM subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Ranks per channel (the model folds rank effects into bank timing).
+    pub ranks: u32,
+    /// Bank groups per rank.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Row size in bytes (the row-buffer / DRAM page size).
+    pub row_bytes: u64,
+    /// Burst granularity in bytes (one 64-byte cache line per burst).
+    pub burst_bytes: u64,
+    /// Read/write queue capacity per channel.
+    pub queue_capacity: usize,
+
+    /// CAS latency (column read to first data), cycles.
+    pub t_cl: u64,
+    /// CAS write latency, cycles.
+    pub t_cwl: u64,
+    /// RAS-to-CAS delay (activate to column command), cycles.
+    pub t_rcd: u64,
+    /// Row precharge time, cycles.
+    pub t_rp: u64,
+    /// Minimum row-open time (activate to precharge), cycles.
+    pub t_ras: u64,
+    /// Activate-to-activate delay, same bank, cycles.
+    pub t_rc: u64,
+    /// Column-to-column delay, different bank group, cycles.
+    pub t_ccd_s: u64,
+    /// Column-to-column delay, same bank group, cycles.
+    pub t_ccd_l: u64,
+    /// Activate-to-activate delay across banks (short), cycles.
+    pub t_rrd_s: u64,
+    /// Activate-to-activate delay across banks (long / same group), cycles.
+    pub t_rrd_l: u64,
+    /// Four-activate window, cycles.
+    pub t_faw: u64,
+    /// Write recovery time (end of write burst to precharge), cycles.
+    pub t_wr: u64,
+    /// Write-to-read turnaround, cycles.
+    pub t_wtr: u64,
+    /// Read-to-precharge delay, cycles.
+    pub t_rtp: u64,
+    /// Burst length in bus cycles (BL8 on a DDR bus occupies 4 clock cycles).
+    pub t_bl: u64,
+}
+
+impl DramConfig {
+    /// DDR4-3200 with 4 channels: the Table III configuration.
+    pub fn ddr4_3200_quad_channel() -> Self {
+        DramConfig {
+            channels: 4,
+            ranks: 1,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 1 << 16,
+            row_bytes: 8 * 1024,
+            burst_bytes: 64,
+            queue_capacity: 32,
+            t_cl: 22,
+            t_cwl: 16,
+            t_rcd: 22,
+            t_rp: 22,
+            t_ras: 52,
+            t_rc: 74,
+            t_ccd_s: 4,
+            t_ccd_l: 8,
+            t_rrd_s: 4,
+            t_rrd_l: 8,
+            t_faw: 26,
+            t_wr: 24,
+            t_wtr: 8,
+            t_rtp: 12,
+            t_bl: 4,
+        }
+    }
+
+    /// A single-channel variant used by scaling studies and unit tests.
+    pub fn ddr4_3200_single_channel() -> Self {
+        DramConfig {
+            channels: 1,
+            ..Self::ddr4_3200_quad_channel()
+        }
+    }
+
+    /// Total number of banks per channel.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks * self.bank_groups * self.banks_per_group
+    }
+
+    /// Number of 64-byte bursts per row.
+    pub fn columns_per_row(&self) -> u64 {
+        self.row_bytes / self.burst_bytes
+    }
+
+    /// Peak data-bus bandwidth in bytes per memory-clock cycle, aggregated
+    /// over all channels (one burst every `t_bl` cycles per channel).
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * self.burst_bytes as f64 / self.t_bl as f64
+    }
+
+    /// Peak bandwidth in GB/s at the nominal 1600 MHz clock.
+    pub fn peak_gbps(&self) -> f64 {
+        self.peak_bytes_per_cycle() * 1.6
+    }
+
+    /// Validates internal consistency (non-zero geometry, power-of-two
+    /// interleaving fields).
+    pub fn validate(&self) -> Result<(), String> {
+        let pow2 = [
+            ("channels", u64::from(self.channels)),
+            ("bank_groups", u64::from(self.bank_groups)),
+            ("banks_per_group", u64::from(self.banks_per_group)),
+            ("rows", self.rows),
+            ("row_bytes", self.row_bytes),
+            ("burst_bytes", self.burst_bytes),
+        ];
+        for (name, value) in pow2 {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(format!("{name} must be a non-zero power of two, got {value}"));
+            }
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be non-zero".into());
+        }
+        if self.t_bl == 0 {
+            return Err("t_bl must be non-zero".into());
+        }
+        if self.row_bytes < self.burst_bytes {
+            return Err("row_bytes must be at least burst_bytes".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr4_3200_quad_channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iii() {
+        let cfg = DramConfig::default();
+        assert_eq!(cfg.channels, 4);
+        assert!((cfg.peak_gbps() - 102.4).abs() < 0.1, "{}", cfg.peak_gbps());
+        assert_eq!(cfg.banks_per_channel(), 16);
+        assert_eq!(cfg.columns_per_row(), 128);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn single_channel_quarter_bandwidth() {
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        assert!((cfg.peak_gbps() - 25.6).abs() < 0.1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut cfg = DramConfig::default();
+        cfg.channels = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DramConfig::default();
+        cfg.queue_capacity = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DramConfig::default();
+        cfg.row_bytes = 32;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the ORAM protocol crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or operating an ORAM instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OramError {
+    /// A protocol or tree parameter failed validation.
+    InvalidParams {
+        /// Description of the offending field and constraint.
+        reason: String,
+    },
+    /// The on-chip stash exceeded its configured hardware capacity.
+    ///
+    /// This is a hard error for a hardware ORAM controller; the RingORAM
+    /// analysis shows it should occur with probability below 2^-103 for a
+    /// 256-entry stash, so hitting it in simulation indicates a protocol or
+    /// configuration bug.
+    StashOverflow {
+        /// Number of entries the stash was holding when the overflow occurred.
+        occupancy: usize,
+        /// The configured hardware capacity.
+        capacity: usize,
+    },
+    /// An access referenced a block outside the protected address space.
+    AddressOutOfRange {
+        /// The offending logical block index.
+        block: u64,
+        /// Number of blocks in the protected space.
+        num_blocks: u64,
+    },
+}
+
+impl fmt::Display for OramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OramError::InvalidParams { reason } => {
+                write!(f, "invalid ORAM parameters: {reason}")
+            }
+            OramError::StashOverflow {
+                occupancy,
+                capacity,
+            } => write!(
+                f,
+                "stash overflow: {occupancy} entries exceed hardware capacity {capacity}"
+            ),
+            OramError::AddressOutOfRange { block, num_blocks } => write!(
+                f,
+                "block {block} is outside the protected space of {num_blocks} blocks"
+            ),
+        }
+    }
+}
+
+impl Error for OramError {}
+
+/// Convenience result alias used throughout the crate.
+pub type OramResult<T> = Result<T, OramError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = OramError::InvalidParams {
+            reason: "z must be non-zero".into(),
+        };
+        assert!(e.to_string().contains("z must be non-zero"));
+
+        let e = OramError::StashOverflow {
+            occupancy: 300,
+            capacity: 256,
+        };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("256"));
+
+        let e = OramError::AddressOutOfRange {
+            block: 10,
+            num_blocks: 4,
+        };
+        assert!(e.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OramError>();
+    }
+}

@@ -1,0 +1,141 @@
+//! DRAM address layout of an ORAM tree.
+//!
+//! Each bucket occupies a contiguous region of untrusted DRAM consisting of
+//! one metadata block followed by its `Z + S` data slots. Buckets are laid
+//! out in level order starting at a per-tree base address. Keeping the
+//! metadata block adjacent to the bucket's slots means that a `LoadMetadata`
+//! read followed by the `ReadPath` read of the same bucket frequently hits
+//! the same DRAM row, which is where the row-buffer-hit rates reported in
+//! the paper come from.
+
+use crate::tree::TreeGeometry;
+use crate::types::{NodeId, SlotIdx};
+
+/// Maps tree nodes and slots to DRAM byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeLayout {
+    base: u64,
+    block_bytes: u64,
+    slots_per_bucket: u64,
+    bucket_stride: u64,
+}
+
+impl TreeLayout {
+    /// Creates a layout for buckets with `slots_per_bucket` data slots of
+    /// `block_bytes` each, plus one leading metadata block, starting at
+    /// DRAM byte address `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` or `slots_per_bucket` is zero.
+    pub fn new(base: u64, block_bytes: u64, slots_per_bucket: u64) -> Self {
+        assert!(block_bytes > 0, "block_bytes must be non-zero");
+        assert!(slots_per_bucket > 0, "slots_per_bucket must be non-zero");
+        TreeLayout {
+            base,
+            block_bytes,
+            slots_per_bucket,
+            bucket_stride: (slots_per_bucket + 1) * block_bytes,
+        }
+    }
+
+    /// The base DRAM address of the tree.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size of one bucket (metadata + slots) in bytes.
+    pub fn bucket_stride(&self) -> u64 {
+        self.bucket_stride
+    }
+
+    /// Number of data slots per bucket.
+    pub fn slots_per_bucket(&self) -> u64 {
+        self.slots_per_bucket
+    }
+
+    /// Total DRAM footprint of a tree with the given geometry, in bytes.
+    pub fn footprint(&self, geometry: &TreeGeometry) -> u64 {
+        geometry.num_nodes() * self.bucket_stride
+    }
+
+    /// One past the last byte address used by a tree with this geometry.
+    pub fn end(&self, geometry: &TreeGeometry) -> u64 {
+        self.base + self.footprint(geometry)
+    }
+
+    /// The DRAM address of the bucket's metadata block.
+    pub fn metadata_addr(&self, node: NodeId) -> u64 {
+        self.base + node.0 * self.bucket_stride
+    }
+
+    /// The DRAM address of a data slot within a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for this layout.
+    pub fn slot_addr(&self, node: NodeId, slot: SlotIdx) -> u64 {
+        assert!(
+            u64::from(slot.0) < self.slots_per_bucket,
+            "slot {slot} out of range for {} slots",
+            self.slots_per_bucket
+        );
+        self.metadata_addr(node) + (1 + u64::from(slot.0)) * self.block_bytes
+    }
+
+    /// Returns `true` if `addr` falls inside this tree's region.
+    pub fn contains(&self, geometry: &TreeGeometry, addr: u64) -> bool {
+        addr >= self.base && addr < self.end(geometry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LeafId;
+
+    #[test]
+    fn addresses_are_disjoint_per_bucket() {
+        let layout = TreeLayout::new(0x1000, 64, 9);
+        assert_eq!(layout.bucket_stride(), 640);
+        assert_eq!(layout.metadata_addr(NodeId(0)), 0x1000);
+        assert_eq!(layout.metadata_addr(NodeId(1)), 0x1000 + 640);
+        assert_eq!(layout.slot_addr(NodeId(0), SlotIdx(0)), 0x1000 + 64);
+        assert_eq!(layout.slot_addr(NodeId(0), SlotIdx(8)), 0x1000 + 9 * 64);
+        // First slot of the next bucket comes after the last slot of this one.
+        assert!(layout.slot_addr(NodeId(0), SlotIdx(8)) < layout.metadata_addr(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_out_of_range_panics() {
+        let layout = TreeLayout::new(0, 64, 4);
+        layout.slot_addr(NodeId(0), SlotIdx(4));
+    }
+
+    #[test]
+    fn footprint_and_containment() {
+        let geometry = TreeGeometry::new(8);
+        let layout = TreeLayout::new(4096, 64, 9);
+        assert_eq!(layout.footprint(&geometry), 15 * 640);
+        assert_eq!(layout.end(&geometry), 4096 + 15 * 640);
+        assert!(layout.contains(&geometry, 4096));
+        assert!(layout.contains(&geometry, layout.end(&geometry) - 1));
+        assert!(!layout.contains(&geometry, layout.end(&geometry)));
+        assert!(!layout.contains(&geometry, 0));
+    }
+
+    #[test]
+    fn all_path_addresses_within_footprint() {
+        let geometry = TreeGeometry::new(16);
+        let layout = TreeLayout::new(1 << 20, 64, 43);
+        for leaf in 0..16 {
+            for node in geometry.path(LeafId(leaf)) {
+                let meta = layout.metadata_addr(node);
+                assert!(layout.contains(&geometry, meta));
+                let last = layout.slot_addr(node, SlotIdx(42));
+                assert!(layout.contains(&geometry, last));
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The per-level (sub-ORAM) protocol interface.
+//!
+//! A [`LevelProtocol`] is the functional engine of one ORAM tree: it owns the
+//! tree contents, the stash and the (logical) position map of that level, and
+//! for every access it returns a [`LevelOutcome`] describing the DRAM traffic
+//! each protocol phase generates. The hierarchy composes three level engines
+//! (Data, PosMap1, PosMap2) into full [`crate::access_plan::AccessPlan`]s.
+
+use crate::crypto::Payload;
+use crate::params::OramParams;
+use crate::types::{BlockId, LeafId, NodeId, OramOp, SubOram};
+
+/// Static configuration of one level engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelConfig {
+    /// Which hierarchy level this engine implements.
+    pub sub: SubOram,
+    /// Tree parameters.
+    pub params: OramParams,
+    /// Base DRAM address of this level's tree region.
+    pub dram_base: u64,
+    /// Number of top tree levels resident in the on-chip tree-top cache;
+    /// accesses to those levels generate no DRAM traffic.
+    pub treetop_levels: u32,
+    /// Hardware stash capacity, in entries.
+    pub stash_capacity: usize,
+    /// RNG seed for leaf selection (each level gets an independent stream).
+    pub seed: u64,
+    /// Number of consecutive 64-byte DRAM bursts per tree block (Palermo's
+    /// block-widening prefetch; 1 = no widening).
+    pub wide_factor: u32,
+}
+
+/// DRAM operations belonging to one bucket-reset or path-eviction routine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BucketOps {
+    /// The bucket being reset (for path evictions, the path's leaf-level node).
+    pub node: NodeId,
+    /// Block addresses read by the routine.
+    pub reads: Vec<u64>,
+    /// Block addresses written by the routine.
+    pub writes: Vec<u64>,
+}
+
+impl BucketOps {
+    /// Total DRAM operations in this routine.
+    pub fn traffic(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// The result of serving one access at one level.
+#[derive(Debug, Clone, Default)]
+pub struct LevelOutcome {
+    /// The leaf whose path was accessed (the *old* mapping).
+    pub leaf: LeafId,
+    /// Metadata reads along the path (`LoadMetadata` phase).
+    pub lm_reads: Vec<u64>,
+    /// Early-reshuffle bucket resets triggered by this access.
+    pub er: Vec<BucketOps>,
+    /// Data reads along the path (`ReadPath` phase).
+    pub rp_reads: Vec<u64>,
+    /// Path write-back traffic issued together with the read path
+    /// (PathORAM-family write-back; empty for RingORAM).
+    pub rp_writes: Vec<u64>,
+    /// Scheduled path eviction (`EvictPath`), if this access triggered one.
+    pub ep: Option<BucketOps>,
+    /// The payload returned to the requester (for reads of blocks that have
+    /// been written before).
+    pub value: Option<Payload>,
+    /// Whether the block existed (had been written or placed) before this access.
+    pub found: bool,
+    /// Extra logical blocks brought on chip by a prefetching scheme.
+    pub prefetched: Vec<BlockId>,
+}
+
+impl LevelOutcome {
+    /// Total DRAM reads across all phases of this outcome.
+    pub fn total_reads(&self) -> usize {
+        self.lm_reads.len()
+            + self.rp_reads.len()
+            + self.er.iter().map(|b| b.reads.len()).sum::<usize>()
+            + self.ep.as_ref().map_or(0, |b| b.reads.len())
+    }
+
+    /// Total DRAM writes across all phases of this outcome.
+    pub fn total_writes(&self) -> usize {
+        self.rp_writes.len()
+            + self.er.iter().map(|b| b.writes.len()).sum::<usize>()
+            + self.ep.as_ref().map_or(0, |b| b.writes.len())
+    }
+
+    /// Total DRAM operations across all phases of this outcome.
+    pub fn total_traffic(&self) -> usize {
+        self.total_reads() + self.total_writes()
+    }
+}
+
+/// Running counters kept by every level engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Real accesses served.
+    pub accesses: u64,
+    /// Dummy (controller-injected) accesses served.
+    pub dummy_accesses: u64,
+    /// DRAM block reads generated.
+    pub dram_reads: u64,
+    /// DRAM block writes generated.
+    pub dram_writes: u64,
+    /// Bucket reset routines executed (EarlyReshuffle + resets inside EvictPath).
+    pub bucket_resets: u64,
+    /// Path evictions executed.
+    pub path_evictions: u64,
+}
+
+/// The functional protocol engine of one sub-ORAM.
+pub trait LevelProtocol {
+    /// Serves one access for `block`, returning the generated traffic and the
+    /// value read. For writes, `payload` carries the new block contents.
+    fn access(&mut self, block: BlockId, op: OramOp, payload: Option<Payload>) -> LevelOutcome;
+
+    /// Serves a dummy access to a uniformly random path. Used for background
+    /// evictions (PrORAM) and request-rate padding.
+    fn dummy_access(&mut self) -> LevelOutcome;
+
+    /// Current stash occupancy, in entries.
+    fn stash_len(&self) -> usize;
+
+    /// Largest stash occupancy observed so far.
+    fn stash_high_water(&self) -> usize;
+
+    /// Number of inserts that pushed the stash above its hardware capacity.
+    fn stash_overflow_events(&self) -> u64;
+
+    /// Running traffic counters.
+    fn stats(&self) -> LevelStats;
+
+    /// Tree parameters of this level.
+    fn params(&self) -> &OramParams;
+
+    /// Which hierarchy level this engine implements.
+    fn sub(&self) -> SubOram;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_traffic_sums_all_phases() {
+        let outcome = LevelOutcome {
+            leaf: LeafId(0),
+            lm_reads: vec![1, 2],
+            er: vec![BucketOps {
+                node: NodeId(3),
+                reads: vec![10, 11],
+                writes: vec![12, 13, 14],
+            }],
+            rp_reads: vec![20, 21, 22],
+            rp_writes: vec![30],
+            ep: Some(BucketOps {
+                node: NodeId(0),
+                reads: vec![40],
+                writes: vec![41, 42],
+            }),
+            value: None,
+            found: false,
+            prefetched: vec![],
+        };
+        assert_eq!(outcome.total_reads(), 2 + 2 + 3 + 1);
+        assert_eq!(outcome.total_writes(), 3 + 1 + 2);
+        assert_eq!(outcome.total_traffic(), 14);
+    }
+
+    #[test]
+    fn bucket_ops_traffic() {
+        let ops = BucketOps {
+            node: NodeId(1),
+            reads: vec![0, 1, 2],
+            writes: vec![3],
+        };
+        assert_eq!(ops.traffic(), 4);
+    }
+
+    #[test]
+    fn default_outcome_is_empty() {
+        let outcome = LevelOutcome::default();
+        assert_eq!(outcome.total_traffic(), 0);
+        assert!(!outcome.found);
+        assert!(outcome.value.is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Protocol-level validation helpers used by tests and the security analysis.
+//!
+//! These functions check the statistical and structural properties the
+//! security argument rests on: leaves must be selected uniformly at random,
+//! access plans must be well formed, and the DRAM addresses a plan touches
+//! must stay inside the tree regions.
+
+use crate::access_plan::AccessPlan;
+use crate::types::LeafId;
+
+/// Result of a chi-square uniformity test over observed leaf selections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityReport {
+    /// Number of observations.
+    pub samples: u64,
+    /// Number of distinct leaves (bins).
+    pub bins: u64,
+    /// The chi-square statistic against the uniform expectation.
+    pub chi_square: f64,
+    /// Degrees of freedom (`bins - 1`).
+    pub degrees_of_freedom: u64,
+}
+
+impl UniformityReport {
+    /// A loose acceptance test: the statistic should not exceed the 99.9th
+    /// percentile of the chi-square distribution, approximated with the
+    /// Wilson–Hilferty transformation. Suitable for smoke-testing that leaf
+    /// selection has not been accidentally biased.
+    pub fn looks_uniform(&self) -> bool {
+        if self.degrees_of_freedom == 0 {
+            return true;
+        }
+        let k = self.degrees_of_freedom as f64;
+        // Wilson–Hilferty: chi2_p ~ k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3,
+        // with z_0.999 ~ 3.09.
+        let z = 3.09;
+        let cutoff = k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3);
+        self.chi_square <= cutoff
+    }
+}
+
+/// Computes a chi-square uniformity report for a sequence of observed leaf
+/// selections over a tree with `num_leaves` leaves.
+///
+/// # Panics
+///
+/// Panics if `num_leaves` is zero.
+pub fn leaf_uniformity(observed: &[LeafId], num_leaves: u64) -> UniformityReport {
+    assert!(num_leaves > 0, "num_leaves must be non-zero");
+    let mut counts = vec![0u64; num_leaves as usize];
+    for leaf in observed {
+        counts[leaf.0 as usize] += 1;
+    }
+    let n = observed.len() as f64;
+    let expected = n / num_leaves as f64;
+    let chi_square = if expected > 0.0 {
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    } else {
+        0.0
+    };
+    UniformityReport {
+        samples: observed.len() as u64,
+        bins: num_leaves,
+        chi_square,
+        degrees_of_freedom: num_leaves.saturating_sub(1),
+    }
+}
+
+/// Checks that every DRAM address referenced by `plan` falls inside
+/// `[region_start, region_end)`.
+pub fn plan_addresses_within(plan: &AccessPlan, region_start: u64, region_end: u64) -> bool {
+    plan.nodes.iter().all(|node| {
+        node.reads
+            .iter()
+            .chain(node.writes.iter())
+            .all(|&addr| addr >= region_start && addr < region_end)
+    })
+}
+
+/// Checks that a sequence of plans uses strictly increasing request ids —
+/// the property the `CommitHead` ordering of Algorithm 2 relies on.
+pub fn request_ids_monotonic(plans: &[AccessPlan]) -> bool {
+    plans.windows(2).all(|w| w[0].request_id < w[1].request_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_plan::{AccessPlanBuilder, PhaseKind};
+    use crate::rng::OramRng;
+    use crate::types::{OramOp, PhysAddr, SubOram};
+
+    #[test]
+    fn uniform_leaves_pass() {
+        let mut rng = OramRng::new(1);
+        let leaves: Vec<LeafId> = (0..50_000).map(|_| rng.uniform_leaf(64)).collect();
+        let report = leaf_uniformity(&leaves, 64);
+        assert!(report.looks_uniform(), "chi2 = {}", report.chi_square);
+        assert_eq!(report.samples, 50_000);
+        assert_eq!(report.degrees_of_freedom, 63);
+    }
+
+    #[test]
+    fn biased_leaves_fail() {
+        // Half the probability mass on leaf 0.
+        let mut rng = OramRng::new(2);
+        let leaves: Vec<LeafId> = (0..50_000)
+            .map(|_| {
+                if rng.chance(0.5) {
+                    LeafId(0)
+                } else {
+                    rng.uniform_leaf(64)
+                }
+            })
+            .collect();
+        let report = leaf_uniformity(&leaves, 64);
+        assert!(!report.looks_uniform());
+    }
+
+    #[test]
+    fn single_bin_always_uniform() {
+        let leaves = vec![LeafId(0); 100];
+        let report = leaf_uniformity(&leaves, 1);
+        assert!(report.looks_uniform());
+    }
+
+    #[test]
+    fn empty_observations_are_uniform() {
+        let report = leaf_uniformity(&[], 16);
+        assert!(report.looks_uniform());
+        assert_eq!(report.samples, 0);
+    }
+
+    fn plan_with_addrs(id: u64, addrs: &[u64]) -> AccessPlan {
+        let mut b = AccessPlanBuilder::new(id, PhysAddr::new(0), OramOp::Read);
+        b.push(
+            SubOram::Data,
+            PhaseKind::ReadPath,
+            addrs.to_vec(),
+            vec![],
+            vec![],
+            0,
+        );
+        b.build()
+    }
+
+    #[test]
+    fn address_range_check() {
+        let plan = plan_with_addrs(0, &[100, 200, 300]);
+        assert!(plan_addresses_within(&plan, 100, 301));
+        assert!(!plan_addresses_within(&plan, 0, 300));
+        assert!(!plan_addresses_within(&plan, 150, 400));
+    }
+
+    #[test]
+    fn monotonic_request_ids() {
+        let plans = vec![
+            plan_with_addrs(0, &[1]),
+            plan_with_addrs(1, &[1]),
+            plan_with_addrs(5, &[1]),
+        ];
+        assert!(request_ids_monotonic(&plans));
+        let bad = vec![plan_with_addrs(3, &[1]), plan_with_addrs(3, &[1])];
+        assert!(!request_ids_monotonic(&bad));
+    }
+}

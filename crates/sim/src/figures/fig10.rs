@@ -1,0 +1,115 @@
+//! Fig. 10: end-to-end speedup of every scheme on every workload,
+//! normalised to PathORAM — the paper's headline result
+//! (geo-mean: RingORAM 1.1×, PageORAM 1.2×, PrORAM 1.7×, IR-ORAM 1.1×,
+//! Palermo-SW 1.2×, Palermo 2.4×, Palermo+Prefetch 3.1×).
+
+use crate::runner::{run_workload, RunMetrics};
+use crate::schemes::Scheme;
+use crate::system::SystemConfig;
+use palermo_analysis::report::{speedup, Table};
+use palermo_analysis::stats::geometric_mean;
+use palermo_oram::error::OramResult;
+use palermo_workloads::Workload;
+
+/// The full Fig. 10 result matrix.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// The workloads evaluated (row order of the matrix).
+    pub workloads: Vec<Workload>,
+    /// The schemes evaluated (column order of the matrix).
+    pub schemes: Vec<Scheme>,
+    /// `speedup[w][s]`: performance of scheme `s` on workload `w`
+    /// normalised to PathORAM on the same workload.
+    pub speedup: Vec<Vec<f64>>,
+    /// Raw per-run metrics, same indexing as `speedup`.
+    pub metrics: Vec<Vec<RunMetrics>>,
+}
+
+impl Fig10 {
+    /// Geometric-mean speedup of one scheme across all workloads.
+    pub fn geo_mean(&self, scheme: Scheme) -> f64 {
+        let Some(col) = self.schemes.iter().position(|&s| s == scheme) else {
+            return 0.0;
+        };
+        let values: Vec<f64> = self.speedup.iter().map(|row| row[col]).collect();
+        geometric_mean(&values)
+    }
+}
+
+/// Runs the Fig. 10 experiment over the given workloads and schemes.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run(
+    config: &SystemConfig,
+    workloads: &[Workload],
+    schemes: &[Scheme],
+) -> OramResult<Fig10> {
+    let mut speedups = Vec::new();
+    let mut all_metrics = Vec::new();
+    for &workload in workloads {
+        let baseline = run_workload(Scheme::PathOram, workload, config)?;
+        let baseline_perf = baseline.accesses_per_cycle().max(f64::MIN_POSITIVE);
+        let mut row_speedup = Vec::new();
+        let mut row_metrics = Vec::new();
+        for &scheme in schemes {
+            let m = if scheme == Scheme::PathOram {
+                baseline.clone()
+            } else {
+                run_workload(scheme, workload, config)?
+            };
+            row_speedup.push(m.accesses_per_cycle() / baseline_perf);
+            row_metrics.push(m);
+        }
+        speedups.push(row_speedup);
+        all_metrics.push(row_metrics);
+    }
+    Ok(Fig10 {
+        workloads: workloads.to_vec(),
+        schemes: schemes.to_vec(),
+        speedup: speedups,
+        metrics: all_metrics,
+    })
+}
+
+/// Renders the speedup matrix (plus the geo-mean row) as a text table.
+pub fn table(fig: &Fig10) -> Table {
+    let mut header: Vec<&str> = vec!["workload"];
+    let names: Vec<&'static str> = fig.schemes.iter().map(|s| s.name()).collect();
+    header.extend(names.iter().copied());
+    let mut t = Table::new("Fig. 10 — end-to-end speedup over PathORAM", &header);
+    for (w, row) in fig.workloads.iter().zip(&fig.speedup) {
+        let mut cells = vec![w.name().to_string()];
+        cells.extend(row.iter().map(|&v| speedup(v)));
+        t.row(&cells);
+    }
+    let mut gm = vec!["geo-mean".to_string()];
+    gm.extend(fig.schemes.iter().map(|&s| speedup(fig.geo_mean(s))));
+    t.row(&gm);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palermo_wins_the_comparison_on_random_traffic() {
+        let cfg = super::super::smoke_config();
+        let fig = run(
+            &cfg,
+            &[Workload::Random],
+            &[Scheme::PathOram, Scheme::RingOram, Scheme::Palermo],
+        )
+        .unwrap();
+        let path = fig.speedup[0][0];
+        let ring = fig.speedup[0][1];
+        let palermo = fig.speedup[0][2];
+        assert!((path - 1.0).abs() < 1e-9);
+        assert!(palermo > ring, "palermo {palermo} vs ring {ring}");
+        assert!(palermo > 1.2, "palermo speedup too small: {palermo}");
+        assert!(fig.geo_mean(Scheme::Palermo) > 1.0);
+        assert_eq!(table(&fig).len(), 2);
+    }
+}

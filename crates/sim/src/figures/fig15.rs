@@ -1,0 +1,54 @@
+//! Fig. 15: area and power of the Palermo ORAM controller.
+//!
+//! Reproduced with the analytical model of `palermo-controller::area_power`
+//! (calibrated against the paper's 28 nm synthesis results: 5.78 mm² and
+//! 2.14 W at 1.6 GHz, dominated by the on-chip caches and PE buffers).
+
+use crate::system::SystemConfig;
+use palermo_analysis::report::Table;
+use palermo_controller::area_power::{estimate, AreaPowerEstimate, ControllerProvisioning};
+
+/// Builds the provisioning implied by a system configuration.
+pub fn provisioning(config: &SystemConfig) -> ControllerProvisioning {
+    ControllerProvisioning {
+        pe_rows: 3,
+        pe_columns: config.pe_columns as u32,
+        ..ControllerProvisioning::default()
+    }
+}
+
+/// Runs the Fig. 15 estimate.
+pub fn run(config: &SystemConfig) -> AreaPowerEstimate {
+    estimate(&provisioning(config))
+}
+
+/// Renders the component breakdown as a text table.
+pub fn table(est: &AreaPowerEstimate) -> Table {
+    let mut t = Table::new(
+        "Fig. 15 — Palermo controller area and power (28 nm, 1.6 GHz)",
+        &["component", "area (mm^2)", "power (W)"],
+    );
+    for c in &est.components {
+        t.row(&[c.name.to_string(), format!("{:.3}", c.area_mm2), format!("{:.3}", c.power_w)]);
+    }
+    t.row(&[
+        "TOTAL".to_string(),
+        format!("{:.2}", est.total_area_mm2()),
+        format!("{:.2}", est.total_power_w()),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_matches_paper_scale() {
+        let est = run(&SystemConfig::paper_default());
+        assert!((est.total_area_mm2() - 5.78).abs() < 1.5);
+        assert!((est.total_power_w() - 2.14).abs() < 0.8);
+        let t = table(&est);
+        assert_eq!(t.len(), est.components.len() + 1);
+    }
+}

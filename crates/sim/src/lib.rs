@@ -1,0 +1,19 @@
+//! # palermo-sim
+//!
+//! The end-to-end Palermo system simulator: it wires a workload generator,
+//! the LLC model, an ORAM protocol instance, an ORAM controller model and
+//! the DRAM substrate into a single cycle-driven loop, and provides the
+//! experiment runners that regenerate every table and figure of the paper's
+//! evaluation (see `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod runner;
+pub mod schemes;
+pub mod system;
+
+pub use runner::{run_workload, RunMetrics};
+pub use schemes::Scheme;
+pub use system::SystemConfig;

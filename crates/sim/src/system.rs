@@ -1,0 +1,156 @@
+//! End-to-end system configuration (Table III).
+
+use palermo_dram::DramConfig;
+use palermo_oram::error::OramResult;
+use palermo_oram::params::{HierarchyParams, OramParams};
+use palermo_workloads::LlcConfig;
+
+/// Configuration of a full simulated system run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Size of the protected user memory space in bytes (Table III: 16 GiB).
+    pub protected_bytes: u64,
+    /// Working-set hint handed to the workload generators, in bytes.
+    pub workload_footprint: u64,
+    /// RingORAM/Palermo real slots per bucket.
+    pub z: u16,
+    /// RingORAM/Palermo dummy slots per bucket.
+    pub s: u16,
+    /// Eviction period.
+    pub a: u32,
+    /// Tree levels held in the on-chip tree-top cache.
+    pub treetop_levels: u32,
+    /// Hardware stash capacity per sub-ORAM, in entries.
+    pub stash_capacity: usize,
+    /// PE columns in the Palermo mesh (Table III: 8).
+    pub pe_columns: usize,
+    /// ORAM requests measured after warm-up.
+    pub measured_requests: u64,
+    /// ORAM requests used to warm up caches, stashes and tree state.
+    pub warmup_requests: u64,
+    /// Seed for all randomness (leaf selection, workloads).
+    pub seed: u64,
+    /// LLC geometry.
+    pub llc: LlcConfig,
+    /// DRAM organisation and timing.
+    pub dram: DramConfig,
+    /// Override the per-workload prefetch length (None = use the workload's
+    /// default, mirroring the paper's per-workload sweep).
+    pub prefetch_override: Option<u32>,
+}
+
+impl SystemConfig {
+    /// The paper's Table III configuration, with a request budget sized so a
+    /// full Fig. 10 sweep finishes in minutes on a laptop. Increase
+    /// `measured_requests` for longer, lower-variance runs.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            protected_bytes: 16 << 30,
+            workload_footprint: 256 << 20,
+            z: 16,
+            s: 27,
+            a: 20,
+            treetop_levels: 6,
+            stash_capacity: 256,
+            pe_columns: 8,
+            measured_requests: 600,
+            warmup_requests: 150,
+            seed: 0x9A1E_0A90,
+            llc: LlcConfig::default(),
+            dram: DramConfig::ddr4_3200_quad_channel(),
+            prefetch_override: None,
+        }
+    }
+
+    /// A heavily shrunken configuration for unit and integration tests:
+    /// a small protected space (short tree paths) and a handful of requests.
+    pub fn small_for_tests() -> Self {
+        SystemConfig {
+            protected_bytes: 32 << 20,
+            workload_footprint: 16 << 20,
+            z: 8,
+            s: 12,
+            a: 8,
+            treetop_levels: 3,
+            stash_capacity: 256,
+            pe_columns: 8,
+            measured_requests: 60,
+            warmup_requests: 15,
+            seed: 7,
+            llc: LlcConfig {
+                capacity_bytes: 1 << 20,
+                ways: 16,
+                line_bytes: 64,
+            },
+            dram: DramConfig::ddr4_3200_quad_channel(),
+            prefetch_override: None,
+        }
+    }
+
+    /// Derives the ORAM hierarchy parameters implied by this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures (e.g. a zero-sized space).
+    pub fn hierarchy_params(&self) -> OramResult<HierarchyParams> {
+        let data = OramParams::builder()
+            .z(self.z)
+            .s(self.s)
+            .a(self.a)
+            .capacity_bytes(self.protected_bytes)
+            .build()?;
+        HierarchyParams::derive(data, 4, self.treetop_levels)
+    }
+
+    /// Total ORAM requests issued per run (warm-up plus measured).
+    pub fn total_requests(&self) -> u64 {
+        self.measured_requests + self.warmup_requests
+    }
+
+    /// Returns a copy with the measured/warm-up request budget scaled by
+    /// `factor` (used by benches to keep iteration times reasonable).
+    pub fn scaled_requests(mut self, factor: f64) -> Self {
+        self.measured_requests = ((self.measured_requests as f64 * factor) as u64).max(10);
+        self.warmup_requests = ((self.warmup_requests as f64 * factor) as u64).max(5);
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_iii() {
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.protected_bytes, 16 << 30);
+        assert_eq!((cfg.z, cfg.s, cfg.a), (16, 27, 20));
+        assert_eq!(cfg.pe_columns, 8);
+        assert_eq!(cfg.stash_capacity, 256);
+        let params = cfg.hierarchy_params().unwrap();
+        assert_eq!(params.data.levels, 25);
+    }
+
+    #[test]
+    fn small_config_builds_quickly() {
+        let cfg = SystemConfig::small_for_tests();
+        let params = cfg.hierarchy_params().unwrap();
+        assert!(params.data.levels < 20);
+        assert_eq!(cfg.total_requests(), 75);
+    }
+
+    #[test]
+    fn scaling_respects_minimums() {
+        let cfg = SystemConfig::small_for_tests().scaled_requests(0.01);
+        assert_eq!(cfg.measured_requests, 10);
+        assert_eq!(cfg.warmup_requests, 5);
+        let cfg = SystemConfig::paper_default().scaled_requests(2.0);
+        assert_eq!(cfg.measured_requests, 1200);
+    }
+}

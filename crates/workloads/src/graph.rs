@@ -1,0 +1,110 @@
+//! Synthetic power-law graphs in CSR form.
+//!
+//! The paper evaluates PageRank on LiveJournal and motif mining on a
+//! Wikipedia snapshot. Those datasets are not redistributable here, so the
+//! graph workloads run on synthetic graphs with the property that matters
+//! for memory behaviour: a heavy-tailed degree distribution, which makes
+//! neighbour accesses hit a small set of hot vertices while the bulk of the
+//! edge list is cold and effectively random.
+
+use crate::zipf::{scramble, Zipf};
+use palermo_oram::rng::OramRng;
+
+/// A compressed-sparse-row graph.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Offsets into `edges`, one per vertex plus a trailing sentinel.
+    pub offsets: Vec<u64>,
+    /// Destination vertex of each edge.
+    pub edges: Vec<u64>,
+}
+
+impl CsrGraph {
+    /// Generates a synthetic power-law graph with `vertices` vertices and an
+    /// average out-degree of `avg_degree`, with destination popularity
+    /// following a Zipfian distribution of skew `skew`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is zero.
+    pub fn synthetic(vertices: u64, avg_degree: u32, skew: f64, seed: u64) -> Self {
+        assert!(vertices > 0, "graph needs at least one vertex");
+        let mut rng = OramRng::new(seed);
+        let dest_sampler = Zipf::new(vertices, skew.clamp(0.0, 0.99));
+        let mut offsets = Vec::with_capacity(vertices as usize + 1);
+        let mut edges = Vec::with_capacity(vertices as usize * avg_degree as usize);
+        offsets.push(0);
+        for _ in 0..vertices {
+            // Degrees vary between 0 and 2x the average.
+            let degree = rng.gen_range(u64::from(avg_degree) * 2 + 1);
+            for _ in 0..degree {
+                let dest = scramble(dest_sampler.sample(&mut rng), vertices);
+                edges.push(dest);
+            }
+            offsets.push(edges.len() as u64);
+        }
+        CsrGraph { offsets, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// The out-neighbours of `v`.
+    pub fn neighbours(&self, v: u64) -> &[u64] {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.edges[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = CsrGraph::synthetic(1000, 8, 0.8, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 4000 && g.num_edges() < 12_000, "{}", g.num_edges());
+        assert_eq!(*g.offsets.last().unwrap(), g.num_edges());
+    }
+
+    #[test]
+    fn neighbours_are_valid_vertices() {
+        let g = CsrGraph::synthetic(500, 4, 0.9, 2);
+        for v in 0..g.num_vertices() {
+            for &n in g.neighbours(v) {
+                assert!(n < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed_in_popularity() {
+        // In-degree (popularity) should be heavy tailed: the hottest vertex
+        // should receive far more than the average number of edges.
+        let g = CsrGraph::synthetic(2000, 8, 0.9, 3);
+        let mut indeg = vec![0u64; 2000];
+        for &e in &g.edges {
+            indeg[e as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = g.num_edges() / 2000;
+        assert!(max > avg * 5, "max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CsrGraph::synthetic(100, 4, 0.8, 7);
+        let b = CsrGraph::synthetic(100, 4, 0.8, 7);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.offsets, b.offsets);
+    }
+}

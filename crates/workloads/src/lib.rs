@@ -1,0 +1,28 @@
+//! # palermo-workloads
+//!
+//! Workload trace generators and the last-level-cache model used to drive
+//! the Palermo evaluation (Table II of the paper): SPEC17-style compute,
+//! graph analytics on synthetic power-law graphs, deep-learning
+//! recommendation and LLM inference, key-value serving, and the synthetic
+//! streaming/random microbenchmarks.
+//!
+//! Real datasets (LiveJournal, Criteo, OpenORCA, …) are not redistributable
+//! inside a code artifact, so each generator reproduces the documented
+//! *memory-access structure* of its application class instead — see
+//! `DESIGN.md` for the substitution argument. All generators are seeded and
+//! deterministic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod graph;
+pub mod llc;
+pub mod trace;
+pub mod workload;
+pub mod zipf;
+
+pub use llc::{Llc, LlcConfig};
+pub use trace::{AccessStream, TraceEntry, TraceProfile};
+pub use workload::Workload;
+pub use zipf::Zipf;

@@ -1,0 +1,134 @@
+//! Access traces and the generator interface.
+
+use palermo_oram::types::{OramOp, PhysAddr};
+
+/// One memory access produced by a workload generator (post-L2, i.e. the
+/// stream that is filtered by the LLC model before reaching the ORAM
+/// controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Byte address within the workload's protected footprint.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub op: OramOp,
+}
+
+impl TraceEntry {
+    /// Convenience constructor for a read access.
+    pub fn read(addr: u64) -> Self {
+        TraceEntry {
+            addr: PhysAddr::new(addr),
+            op: OramOp::Read,
+        }
+    }
+
+    /// Convenience constructor for a write access.
+    pub fn write(addr: u64) -> Self {
+        TraceEntry {
+            addr: PhysAddr::new(addr),
+            op: OramOp::Write,
+        }
+    }
+}
+
+/// An endless stream of memory accesses with a bounded footprint.
+///
+/// Generators are deterministic: the same seed yields the same stream, so
+/// every experiment in the repository is reproducible.
+pub trait AccessStream {
+    /// Produces the next access.
+    fn next_access(&mut self) -> TraceEntry;
+
+    /// The size of the address range the stream touches, in bytes. All
+    /// generated addresses are below this bound.
+    fn footprint_bytes(&self) -> u64;
+}
+
+/// Simple statistics over a finite prefix of a trace, used by tests and by
+/// the workload-characterisation example.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceProfile {
+    /// Number of accesses profiled.
+    pub accesses: u64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// Fraction of accesses whose cache line equals the previous access's
+    /// line plus one (a crude spatial-locality indicator).
+    pub sequential_fraction: f64,
+    /// Number of distinct 64-byte lines touched.
+    pub distinct_lines: u64,
+}
+
+/// Profiles the next `n` accesses of a stream.
+pub fn profile(stream: &mut dyn AccessStream, n: u64) -> TraceProfile {
+    use std::collections::HashSet;
+    let mut writes = 0u64;
+    let mut sequential = 0u64;
+    let mut lines = HashSet::new();
+    let mut prev_line: Option<u64> = None;
+    for _ in 0..n {
+        let e = stream.next_access();
+        let line = e.addr.0 / 64;
+        if e.op == OramOp::Write {
+            writes += 1;
+        }
+        if prev_line == Some(line.wrapping_sub(1)) {
+            sequential += 1;
+        }
+        prev_line = Some(line);
+        lines.insert(line);
+    }
+    TraceProfile {
+        accesses: n,
+        write_fraction: if n == 0 { 0.0 } else { writes as f64 / n as f64 },
+        sequential_fraction: if n == 0 { 0.0 } else { sequential as f64 / n as f64 },
+        distinct_lines: lines.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        next: u64,
+    }
+    impl AccessStream for Counter {
+        fn next_access(&mut self) -> TraceEntry {
+            let e = if self.next % 4 == 0 {
+                TraceEntry::write(self.next * 64)
+            } else {
+                TraceEntry::read(self.next * 64)
+            };
+            self.next += 1;
+            e
+        }
+        fn footprint_bytes(&self) -> u64 {
+            1 << 20
+        }
+    }
+
+    #[test]
+    fn entry_constructors() {
+        assert_eq!(TraceEntry::read(64).op, OramOp::Read);
+        assert_eq!(TraceEntry::write(64).op, OramOp::Write);
+        assert_eq!(TraceEntry::read(64).addr, PhysAddr::new(64));
+    }
+
+    #[test]
+    fn profile_of_sequential_stream() {
+        let mut s = Counter { next: 0 };
+        let p = profile(&mut s, 1000);
+        assert_eq!(p.accesses, 1000);
+        assert!((p.write_fraction - 0.25).abs() < 1e-9);
+        assert!(p.sequential_fraction > 0.99);
+        assert_eq!(p.distinct_lines, 1000);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let mut s = Counter { next: 0 };
+        let p = profile(&mut s, 0);
+        assert_eq!(p, TraceProfile::default());
+    }
+}

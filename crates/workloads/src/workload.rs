@@ -1,0 +1,158 @@
+//! The Table II workload registry.
+
+use crate::generators::dlrm::{DlrmBalanced, DlrmMemBound};
+use crate::generators::graph_apps::{MotifMining, PageRank};
+use crate::generators::kv::{RedisKv, Streaming, UniformRandom};
+use crate::generators::llm::LlmInference;
+use crate::generators::spec::{Lbm, Mcf};
+use crate::trace::AccessStream;
+
+/// The ten cloud-service workloads of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// SPEC17 `mcf`: route-planning computation (pointer chasing).
+    Mcf,
+    /// SPEC17 `lbm`: fluid dynamics (streaming sweeps).
+    Lbm,
+    /// GAP PageRank on a power-law graph.
+    PageRank,
+    /// Temporal motif mining on a power-law graph.
+    Motif,
+    /// DLRM, memory-bound configuration (Meta-style).
+    Rm1,
+    /// DLRM, balanced configuration (Alibaba-style).
+    Rm2,
+    /// GPT-2 style LLM inference over a token feature table.
+    Llm,
+    /// Redis key-value accesses.
+    Redis,
+    /// Synthetic streaming accesses (`stm`).
+    Streaming,
+    /// Synthetic uniform random accesses (`rand`).
+    Random,
+}
+
+impl Workload {
+    /// All workloads in the order Fig. 10 plots them.
+    pub const ALL: [Workload; 10] = [
+        Workload::Mcf,
+        Workload::Lbm,
+        Workload::PageRank,
+        Workload::Motif,
+        Workload::Rm1,
+        Workload::Rm2,
+        Workload::Llm,
+        Workload::Redis,
+        Workload::Streaming,
+        Workload::Random,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mcf => "mcf",
+            Workload::Lbm => "lbm",
+            Workload::PageRank => "pr",
+            Workload::Motif => "motif",
+            Workload::Rm1 => "rm1",
+            Workload::Rm2 => "rm2",
+            Workload::Llm => "llm",
+            Workload::Redis => "redis",
+            Workload::Streaming => "stream",
+            Workload::Random => "random",
+        }
+    }
+
+    /// Parses a paper-style short name.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == name)
+    }
+
+    /// Whether the workload has enough spatial locality for prefetch-based
+    /// schemes to help noticeably (used to pick per-workload prefetch
+    /// lengths, mirroring the paper's per-workload sweep).
+    pub fn default_prefetch_length(self) -> u32 {
+        match self {
+            Workload::Lbm | Workload::Streaming => 8,
+            Workload::Llm | Workload::Rm2 => 4,
+            Workload::Rm1 | Workload::Redis | Workload::Mcf => 2,
+            Workload::PageRank | Workload::Motif | Workload::Random => 1,
+        }
+    }
+
+    /// Builds the generator for this workload, scaled so that its footprint
+    /// stays within `footprint_hint` bytes (generators round as needed).
+    pub fn build(self, footprint_hint: u64, seed: u64) -> Box<dyn AccessStream> {
+        let hint = footprint_hint.max(1 << 20);
+        match self {
+            Workload::Mcf => Box::new(Mcf::new(hint, seed)),
+            Workload::Lbm => Box::new(Lbm::new(hint, seed)),
+            Workload::PageRank => Box::new(PageRank::new(hint / 512, seed)),
+            Workload::Motif => Box::new(MotifMining::new(hint / 512, seed)),
+            Workload::Rm1 => Box::new(DlrmMemBound::new(hint / 256, seed)),
+            Workload::Rm2 => Box::new(DlrmBalanced::new(hint / 512, seed)),
+            Workload::Llm => Box::new(LlmInference::new((hint / 3072).max(1024), seed)),
+            Workload::Redis => Box::new(RedisKv::new(hint / 512, seed)),
+            Workload::Streaming => Box::new(Streaming::new(hint, seed)),
+            Workload::Random => Box::new(UniformRandom::new(hint, seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::profile;
+
+    #[test]
+    fn names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+            assert_eq!(format!("{w}"), w.name());
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_workloads_build_and_stay_in_bounds() {
+        for w in Workload::ALL {
+            let mut stream = w.build(64 << 20, 7);
+            let footprint = stream.footprint_bytes();
+            assert!(footprint > 0, "{w}");
+            for _ in 0..2000 {
+                let e = stream.next_access();
+                assert!(e.addr.0 < footprint, "{w}: {:#x} >= {footprint:#x}", e.addr.0);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_ordering_matches_expectations() {
+        // Streaming must be the most sequential; random the least. This is
+        // the property the Fig. 4 / Fig. 10 prefetch contrast relies on.
+        let seq_frac = |w: Workload| {
+            let mut stream = w.build(64 << 20, 3);
+            profile(stream.as_mut(), 20_000).sequential_fraction
+        };
+        let stream_frac = seq_frac(Workload::Streaming);
+        let lbm_frac = seq_frac(Workload::Lbm);
+        let rand_frac = seq_frac(Workload::Random);
+        let motif_frac = seq_frac(Workload::Motif);
+        assert!(stream_frac > 0.95);
+        assert!(lbm_frac > rand_frac);
+        assert!(motif_frac < 0.5);
+        assert!(rand_frac < 0.05);
+    }
+
+    #[test]
+    fn prefetch_lengths_follow_locality() {
+        assert!(Workload::Streaming.default_prefetch_length() > Workload::Random.default_prefetch_length());
+        assert_eq!(Workload::Random.default_prefetch_length(), 1);
+    }
+}

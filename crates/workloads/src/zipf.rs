@@ -1,0 +1,154 @@
+//! Zipfian and uniform samplers for synthetic workload generation.
+
+use palermo_oram::rng::OramRng;
+
+/// A Zipfian sampler over `[0, n)` with skew `s`, using the rejection-free
+/// approximate inversion method of Gray et al. (the standard approach in
+/// YCSB-style generators).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `[0, n)` with skew `theta` (0 = uniform,
+    /// typical hot-spot workloads use 0.8–0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta >= 1.0` (the method requires θ < 1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-zero");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is exact but O(n); cap the work and extrapolate
+        // with the integral approximation for very large populations.
+        const EXACT_LIMIT: u64 = 100_000;
+        let exact_n = n.min(EXACT_LIMIT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > exact_n && theta < 1.0 {
+            // Integral of x^-theta from EXACT_LIMIT to n.
+            sum += ((n as f64).powf(1.0 - theta) - (exact_n as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Draws one sample (rank 0 is the hottest item).
+    pub fn sample(&self, rng: &mut OramRng) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Scrambles a rank into a stable pseudo-random item id so the hottest items
+/// are not clustered at the low end of the address space.
+pub fn scramble(rank: u64, n: u64) -> u64 {
+    // Fibonacci hashing followed by a modulo keeps the mapping stable and
+    // roughly bijective for the populations used here.
+    (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.9);
+        let mut rng = OramRng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_is_head_heavy() {
+        let z = Zipf::new(10_000, 0.95);
+        let mut rng = OramRng::new(2);
+        let samples: Vec<u64> = (0..50_000).map(|_| z.sample(&mut rng)).collect();
+        let head = samples.iter().filter(|&&s| s < 100).count();
+        // With theta = 0.95 the top 1 % of items should absorb well over a
+        // third of the accesses.
+        assert!(
+            head > samples.len() / 3,
+            "head fraction too small: {head}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn zero_theta_is_roughly_uniform() {
+        let z = Zipf::new(64, 0.0);
+        let mut rng = OramRng::new(3);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..64_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.5, "max {max} min {min}");
+    }
+
+    #[test]
+    fn single_item_population() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = OramRng::new(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.population(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_one_rejected() {
+        Zipf::new(10, 1.0);
+    }
+
+    #[test]
+    fn scramble_stays_in_range_and_spreads() {
+        let n = 1 << 20;
+        let mut seen_high = false;
+        for rank in 0..1000u64 {
+            let s = scramble(rank, n);
+            assert!(s < n);
+            if s > n / 2 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high, "scramble should spread hot ranks across the space");
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 9 / Table I: ORAM response-latency clustering, DRAM
+//! row-hit and bank-conflict statistics, and the mutual-information
+//! estimate of the timing side channel under Palermo.
+//!
+//! ```text
+//! cargo run --release --example fig09_security_analysis
+//! ```
+
+use palermo::sim::figures::fig09;
+use palermo::sim::system::SystemConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.measured_requests = 500;
+    cfg.warmup_requests = 125;
+    if let Ok(Ok(n)) = std::env::var("PALERMO_REQUESTS").map(|v| v.parse::<u64>()) {
+        cfg.measured_requests = n;
+        cfg.warmup_requests = n / 4;
+    }
+    eprintln!("collecting Palermo response latencies on mcf / pr / llm / redis ...");
+    let rows = fig09::run(&cfg)?;
+    println!("{}", fig09::table(&rows).to_text());
+    println!("Expected shape (paper): row-hit and bank-conflict rates are nearly identical");
+    println!("across workloads and mutual information is within noise of zero — the");
+    println!("attacker learns nothing from response timings.");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Regenerates Fig. 15: the area/power breakdown of the Palermo ORAM
+//! controller (analytical model calibrated to the paper's 28 nm synthesis).
+//!
+//! ```text
+//! cargo run --example fig15_area_power
+//! ```
+
+use palermo::controller::area_power::ControllerProvisioning;
+use palermo::controller::estimate;
+use palermo::sim::figures::fig15;
+use palermo::sim::system::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+    let est = fig15::run(&cfg);
+    println!("{}", fig15::table(&est).to_text());
+    println!(
+        "total: {:.2} mm^2, {:.2} W at 1.6 GHz   (paper: 5.78 mm^2, 2.14 W)",
+        est.total_area_mm2(),
+        est.total_power_w()
+    );
+
+    // Scaling study: how the budget grows with the PE mesh width.
+    println!("\nPE-column scaling of the area/power budget:");
+    for columns in [1u32, 4, 8, 16, 32] {
+        let est = estimate(&ControllerProvisioning {
+            pe_columns: columns,
+            ..ControllerProvisioning::default()
+        });
+        println!(
+            "  3x{columns:<2} mesh: {:>6.2} mm^2  {:>5.2} W",
+            est.total_area_mm2(),
+            est.total_power_w()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Domain scenario: an oblivious key-value store (Signal-style contact
+//! discovery / Redis caching).
+//!
+//! Key-value services leak which keys are hot from the memory-access
+//! pattern alone. This example drives the Zipfian `redis` workload through
+//! three designs — the PrORAM prefetching baseline, Palermo, and Palermo
+//! with matched prefetch — and contrasts throughput, dummy-request overhead
+//! and stash pressure, reproducing the paper's argument that prefetch-based
+//! designs pay for locality with stash pressure while Palermo does not.
+//!
+//! ```text
+//! cargo run --release --example oblivious_kv_store
+//! ```
+
+use palermo::analysis::report::Table;
+use palermo::sim::runner::run_workload;
+use palermo::sim::schemes::Scheme;
+use palermo::sim::system::SystemConfig;
+use palermo::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.measured_requests = 300;
+    cfg.warmup_requests = 75;
+
+    let schemes = [
+        Scheme::PathOram,
+        Scheme::PrOram,
+        Scheme::Palermo,
+        Scheme::PalermoPrefetch,
+    ];
+
+    let baseline = run_workload(Scheme::PathOram, Workload::Redis, &cfg)?;
+    let baseline_perf = baseline.accesses_per_cycle();
+
+    let mut table = Table::new(
+        "Oblivious KV store: Zipfian `redis` traffic",
+        &[
+            "scheme",
+            "speedup vs PathORAM",
+            "KV ops/s",
+            "dummy requests",
+            "stash max",
+            "LLC hit rate",
+        ],
+    );
+
+    for scheme in schemes {
+        println!("running {scheme} ...");
+        let m = if scheme == Scheme::PathOram {
+            baseline.clone()
+        } else {
+            run_workload(scheme, Workload::Redis, &cfg)?
+        };
+        table.row(&[
+            scheme.name().to_string(),
+            format!("{:.2}x", m.accesses_per_cycle() / baseline_perf),
+            format!("{:.2e}", m.requests_per_second()),
+            format!("{:.1}%", m.dummy_fraction() * 100.0),
+            format!("{}", m.stash_high_water),
+            format!("{:.1}%", m.llc_hit_rate * 100.0),
+        ]);
+    }
+
+    println!("\n{}", table.to_text());
+    println!("Note: PrORAM buys locality with same-leaf grouping and pays in stash");
+    println!("pressure / dummy evictions; Palermo+Prefetch widens tree blocks instead");
+    println!("and keeps the stash bounded (compare the last two rows).");
+    Ok(())
+}

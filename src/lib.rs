@@ -1,0 +1,51 @@
+//! # Palermo — protocol-hardware co-design for oblivious memory
+//!
+//! This is the facade crate of the Palermo reproduction. It re-exports the
+//! public API of the workspace crates so downstream users (and the bundled
+//! examples and integration tests) can reach everything through a single
+//! `use palermo::…` path:
+//!
+//! * [`oram`] — the ORAM protocols (PathORAM, RingORAM, Palermo) and their
+//!   access-plan lowering;
+//! * [`dram`] — the cycle-level DDR4 + memory-controller substrate;
+//! * [`controller`] — the serial baseline controller and the Palermo PE-mesh
+//!   controller, plus the area/power model;
+//! * [`workloads`] — the Table II workload generators and the LLC model;
+//! * [`analysis`] — statistics, histograms and the mutual-information
+//!   security analysis;
+//! * [`sim`] — the end-to-end system simulator and the per-figure experiment
+//!   runners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use palermo::sim::schemes::Scheme;
+//! use palermo::sim::system::SystemConfig;
+//! use palermo::sim::runner::run_workload;
+//! use palermo::workloads::workload::Workload;
+//!
+//! // A deliberately tiny run: the defaults used by the figures are larger.
+//! let cfg = SystemConfig::small_for_tests();
+//! let metrics = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
+//! assert!(metrics.oram_requests > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use palermo_analysis as analysis;
+pub use palermo_controller as controller;
+pub use palermo_dram as dram;
+pub use palermo_oram as oram;
+pub use palermo_sim as sim;
+pub use palermo_workloads as workloads;
+
+/// The version of the Palermo reproduction workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
