@@ -118,7 +118,9 @@ mod tests {
         let mut samples = Vec::new();
         let mut x = 1u64;
         for i in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let latency = (x >> 33) as f64 % 1000.0;
             samples.push((i % 2 == 0, latency));
         }

@@ -14,7 +14,12 @@ use palermo_workloads::Workload;
 fn bench(c: &mut Criterion) {
     let report = fig10::run(
         &report_config(),
-        &[Workload::Mcf, Workload::Llm, Workload::Streaming, Workload::Random],
+        &[
+            Workload::Mcf,
+            Workload::Llm,
+            Workload::Streaming,
+            Workload::Random,
+        ],
         &Scheme::ALL,
     )
     .expect("fig10 run");

@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     for pf in [1u32, 2, 4, 8] {
         let mut cfg = bench_config();
         cfg.prefetch_override = Some(pf);
-        let scheme = if pf == 1 { Scheme::Palermo } else { Scheme::PalermoPrefetch };
+        let scheme = if pf == 1 {
+            Scheme::Palermo
+        } else {
+            Scheme::PalermoPrefetch
+        };
         group.bench_with_input(BenchmarkId::new("palermo_llm_pf", pf), &pf, move |b, _| {
             b.iter(|| run_workload(scheme, Workload::Llm, &cfg).expect("run"));
         });

@@ -9,8 +9,7 @@ use palermo_workloads::Workload;
 
 fn bench(c: &mut Criterion) {
     let z_points = fig14::run_z_sweep(&report_config(), &[4, 8, 16, 32]).expect("z sweep");
-    let pe_points =
-        fig14::run_pe_sweep(&report_config(), &[1, 2, 4, 8, 16, 32]).expect("pe sweep");
+    let pe_points = fig14::run_pe_sweep(&report_config(), &[1, 2, 4, 8, 16, 32]).expect("pe sweep");
     let (zt, pt) = fig14::tables(&z_points, &pe_points);
     println!("{}", zt.to_text());
     println!("{}", pt.to_text());

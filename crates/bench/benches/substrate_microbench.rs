@@ -35,7 +35,13 @@ fn dram_stream(sequential: bool, bursts: u64) -> u64 {
 }
 
 fn small_oram(flavor: ProtocolFlavor) -> HierarchicalOram {
-    let data = OramParams::builder().num_blocks(1 << 16).z(16).s(27).a(20).build().unwrap();
+    let data = OramParams::builder()
+        .num_blocks(1 << 16)
+        .z(16)
+        .s(27)
+        .a(20)
+        .build()
+        .unwrap();
     let params = HierarchyParams::derive(data, 4, 4).unwrap();
     let mut cfg = HierarchyConfig::paper_default(flavor).unwrap();
     cfg.params = params;
@@ -57,7 +63,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| dram_stream(false, 1024));
     });
 
-    for flavor in [ProtocolFlavor::PathOram, ProtocolFlavor::RingOram, ProtocolFlavor::Palermo] {
+    for flavor in [
+        ProtocolFlavor::PathOram,
+        ProtocolFlavor::RingOram,
+        ProtocolFlavor::Palermo,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("plan_generation", format!("{flavor:?}")),
             &flavor,
@@ -66,8 +76,12 @@ fn bench(c: &mut Criterion) {
                 let mut i = 0u64;
                 b.iter(|| {
                     i = (i + 97) % (1 << 16);
-                    oram.access(PhysAddr::new(i * 64), OramOp::Write, Some(Payload::from_u64(i)))
-                        .expect("access")
+                    oram.access(
+                        PhysAddr::new(i * 64),
+                        OramOp::Write,
+                        Some(Payload::from_u64(i)),
+                    )
+                    .expect("access")
                 });
             },
         );

@@ -171,6 +171,9 @@ mod tests {
     fn component_list_is_complete() {
         let est = estimate(&ControllerProvisioning::default());
         assert_eq!(est.components.len(), 6);
-        assert!(est.components.iter().all(|c| c.area_mm2 > 0.0 && c.power_w > 0.0));
+        assert!(est
+            .components
+            .iter()
+            .all(|c| c.area_mm2 > 0.0 && c.power_w > 0.0));
     }
 }

@@ -172,7 +172,9 @@ impl InflightRequest {
     /// For the serial policy: all reads done, all writes handed to the
     /// memory controller.
     fn ordering_complete(&self) -> bool {
-        self.nodes.iter().all(|n| n.all_issued && n.outstanding_reads == 0)
+        self.nodes
+            .iter()
+            .all(|n| n.all_issued && n.outstanding_reads == 0)
     }
 }
 
@@ -291,11 +293,7 @@ impl OramController {
     fn node_ready(&self, req: &InflightRequest, node_idx: usize) -> bool {
         let plan_node = &req.plan.nodes[node_idx];
         // Intra-request dependencies.
-        if !plan_node
-            .deps
-            .iter()
-            .all(|d| req.node_state(*d).complete)
-        {
+        if !plan_node.deps.iter().all(|d| req.node_state(*d).complete) {
             return false;
         }
         // Inter-request dependency applies to the first read phase of each
@@ -491,13 +489,62 @@ mod tests {
             addr += n as u64 * 64;
             v
         };
-        let lm2 = b.push(SubOram::Pos2, PhaseKind::LoadMetadata, mk(reads_per_node), vec![], vec![], 0);
-        let rp2 = b.push(SubOram::Pos2, PhaseKind::ReadPath, mk(reads_per_node), vec![], vec![lm2], 2);
-        let er2 = b.push(SubOram::Pos2, PhaseKind::EarlyReshuffle, vec![], mk(2), vec![lm2], 0);
-        let lm1 = b.push(SubOram::Pos1, PhaseKind::LoadMetadata, mk(reads_per_node), vec![], vec![rp2], 0);
-        let rp1 = b.push(SubOram::Pos1, PhaseKind::ReadPath, mk(reads_per_node), vec![], vec![lm1], 2);
-        let lm0 = b.push(SubOram::Data, PhaseKind::LoadMetadata, mk(reads_per_node), vec![], vec![rp1], 0);
-        let _rp0 = b.push(SubOram::Data, PhaseKind::ReadPath, mk(reads_per_node), vec![], vec![lm0], 2);
+        let lm2 = b.push(
+            SubOram::Pos2,
+            PhaseKind::LoadMetadata,
+            mk(reads_per_node),
+            vec![],
+            vec![],
+            0,
+        );
+        let rp2 = b.push(
+            SubOram::Pos2,
+            PhaseKind::ReadPath,
+            mk(reads_per_node),
+            vec![],
+            vec![lm2],
+            2,
+        );
+        let er2 = b.push(
+            SubOram::Pos2,
+            PhaseKind::EarlyReshuffle,
+            vec![],
+            mk(2),
+            vec![lm2],
+            0,
+        );
+        let lm1 = b.push(
+            SubOram::Pos1,
+            PhaseKind::LoadMetadata,
+            mk(reads_per_node),
+            vec![],
+            vec![rp2],
+            0,
+        );
+        let rp1 = b.push(
+            SubOram::Pos1,
+            PhaseKind::ReadPath,
+            mk(reads_per_node),
+            vec![],
+            vec![lm1],
+            2,
+        );
+        let lm0 = b.push(
+            SubOram::Data,
+            PhaseKind::LoadMetadata,
+            mk(reads_per_node),
+            vec![],
+            vec![rp1],
+            0,
+        );
+        let _rp0 = b.push(
+            SubOram::Data,
+            PhaseKind::ReadPath,
+            mk(reads_per_node),
+            vec![],
+            vec![lm0],
+            2,
+        );
         let _ = er2;
         b.build()
     }
@@ -540,7 +587,9 @@ mod tests {
     fn serial_policy_orders_requests() {
         let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
         let mut ctrl = OramController::new(ControllerConfig::serial_default());
-        let plans: Vec<AccessPlan> = (0..4).map(|i| simple_plan(i, scattered_base(i), 4)).collect();
+        let plans: Vec<AccessPlan> = (0..4)
+            .map(|i| simple_plan(i, scattered_base(i), 4))
+            .collect();
         let finished = run_to_completion(&mut ctrl, &mut dram, plans, 500_000);
         assert_eq!(finished.len(), 4);
         // Completion order must match submission order for the serial policy.
@@ -555,7 +604,9 @@ mod tests {
         let run = |config: ControllerConfig| {
             let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
             let mut ctrl = OramController::new(config);
-            let plans: Vec<AccessPlan> = (0..24).map(|i| simple_plan(i, scattered_base(i), 16)).collect();
+            let plans: Vec<AccessPlan> = (0..24)
+                .map(|i| simple_plan(i, scattered_base(i), 16))
+                .collect();
             run_to_completion(&mut ctrl, &mut dram, plans, 2_000_000);
             dram.cycle()
         };
@@ -572,7 +623,9 @@ mod tests {
         let run = |config: ControllerConfig| {
             let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
             let mut ctrl = OramController::new(config);
-            let plans: Vec<AccessPlan> = (0..24).map(|i| simple_plan(i, scattered_base(i), 16)).collect();
+            let plans: Vec<AccessPlan> = (0..24)
+                .map(|i| simple_plan(i, scattered_base(i), 16))
+                .collect();
             run_to_completion(&mut ctrl, &mut dram, plans, 2_000_000);
             dram.cycle()
         };
@@ -591,9 +644,13 @@ mod tests {
             issue_width: 8,
         });
         assert!(ctrl.try_submit(simple_plan(0, 0, 2), 0).is_ok());
-        assert!(ctrl.try_submit(simple_plan(1, scattered_base(1), 2), 0).is_ok());
+        assert!(ctrl
+            .try_submit(simple_plan(1, scattered_base(1), 2), 0)
+            .is_ok());
         assert!(!ctrl.can_accept());
-        assert!(ctrl.try_submit(simple_plan(2, scattered_base(2), 2), 0).is_err());
+        assert!(ctrl
+            .try_submit(simple_plan(2, scattered_base(2), 2), 0)
+            .is_err());
         assert_eq!(ctrl.inflight(), 2);
     }
 
@@ -601,7 +658,12 @@ mod tests {
     fn stats_track_issue_and_stall_cycles() {
         let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
         let mut ctrl = OramController::new(ControllerConfig::serial_default());
-        run_to_completion(&mut ctrl, &mut dram, vec![simple_plan(0, 0, 8), simple_plan(1, scattered_base(1), 8)], 200_000);
+        run_to_completion(
+            &mut ctrl,
+            &mut dram,
+            vec![simple_plan(0, 0, 8), simple_plan(1, scattered_base(1), 8)],
+            200_000,
+        );
         let stats = ctrl.stats();
         assert!(stats.dram_reads_issued > 0);
         assert!(stats.dram_writes_issued > 0);

@@ -452,12 +452,12 @@ mod tests {
         let cfg = DramConfig::ddr4_3200_single_channel();
         let min_cycles = total * cfg.t_bl;
         assert!(
-            cycle as u64 >= min_cycles,
+            cycle >= min_cycles,
             "exceeded peak bandwidth: {cycle} < {min_cycles}"
         );
         // ...but should stay within ~2x of peak for a pure streaming pattern.
         assert!(
-            (cycle as u64) < min_cycles * 3,
+            cycle < min_cycles * 3,
             "streaming far below peak: {cycle} vs {min_cycles}"
         );
     }

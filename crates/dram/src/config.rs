@@ -131,7 +131,9 @@ impl DramConfig {
         ];
         for (name, value) in pow2 {
             if value == 0 || !value.is_power_of_two() {
-                return Err(format!("{name} must be a non-zero power of two, got {value}"));
+                return Err(format!(
+                    "{name} must be a non-zero power of two, got {value}"
+                ));
             }
         }
         if self.queue_capacity == 0 {
@@ -176,14 +178,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let mut cfg = DramConfig::default();
-        cfg.channels = 3;
+        let cfg = DramConfig {
+            channels: 3,
+            ..DramConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = DramConfig::default();
-        cfg.queue_capacity = 0;
+        let cfg = DramConfig {
+            queue_capacity: 0,
+            ..DramConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = DramConfig::default();
-        cfg.row_bytes = 32;
+        let cfg = DramConfig {
+            row_bytes: 32,
+            ..DramConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

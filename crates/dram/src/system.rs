@@ -186,8 +186,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid DRAM configuration")]
     fn invalid_config_panics() {
-        let mut cfg = DramConfig::default();
-        cfg.channels = 5;
+        let cfg = DramConfig {
+            channels: 5,
+            ..DramConfig::default()
+        };
         DramSystem::new(cfg);
     }
 
@@ -212,6 +214,10 @@ mod tests {
         assert_eq!(completed, 256);
         assert_eq!(stats.reads, 256);
         assert_eq!(dram.outstanding(), 0);
-        assert!(stats.row_hit_rate() > 0.8, "hit rate {}", stats.row_hit_rate());
+        assert!(
+            stats.row_hit_rate() > 0.8,
+            "hit rate {}",
+            stats.row_hit_rate()
+        );
     }
 }

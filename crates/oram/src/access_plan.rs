@@ -143,9 +143,10 @@ impl AccessPlan {
     /// dependencies point to earlier nodes (so the DAG is acyclic by
     /// construction). Returns `false` if any check fails.
     pub fn is_well_formed(&self) -> bool {
-        self.nodes.iter().enumerate().all(|(i, n)| {
-            n.id.0 as usize == i && n.deps.iter().all(|d| (d.0 as usize) < i)
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| n.id.0 as usize == i && n.deps.iter().all(|d| (d.0 as usize) < i))
     }
 }
 
@@ -205,7 +206,10 @@ impl AccessPlanBuilder {
     ///
     /// Panics if the plan is not well formed (a builder bug).
     pub fn build(self) -> AccessPlan {
-        assert!(self.plan.is_well_formed(), "builder produced malformed plan");
+        assert!(
+            self.plan.is_well_formed(),
+            "builder produced malformed plan"
+        );
         self.plan
     }
 }
@@ -216,7 +220,14 @@ mod tests {
 
     fn sample_plan() -> AccessPlan {
         let mut b = AccessPlanBuilder::new(7, PhysAddr::new(0x40), OramOp::Read);
-        let lm2 = b.push(SubOram::Pos2, PhaseKind::LoadMetadata, vec![1, 2], vec![], vec![], 0);
+        let lm2 = b.push(
+            SubOram::Pos2,
+            PhaseKind::LoadMetadata,
+            vec![1, 2],
+            vec![],
+            vec![],
+            0,
+        );
         let rp2 = b.push(
             SubOram::Pos2,
             PhaseKind::ReadPath,
@@ -289,7 +300,14 @@ mod tests {
     fn dummy_marker() {
         let mut b = AccessPlanBuilder::new(0, PhysAddr::new(0), OramOp::Read);
         b.dummy();
-        b.push(SubOram::Data, PhaseKind::ReadPath, vec![1], vec![2], vec![], 0);
+        b.push(
+            SubOram::Data,
+            PhaseKind::ReadPath,
+            vec![1],
+            vec![2],
+            vec![],
+            0,
+        );
         let plan = b.build();
         assert!(plan.is_dummy);
     }

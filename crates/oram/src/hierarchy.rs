@@ -426,12 +426,20 @@ impl HierarchicalOram {
         let pos2_outcome = if skip_pos2 {
             None
         } else {
-            Some(self.levels[2].as_dyn_mut().access(pos2_block, OramOp::Read, None))
+            Some(
+                self.levels[2]
+                    .as_dyn_mut()
+                    .access(pos2_block, OramOp::Read, None),
+            )
         };
         let pos1_outcome = if skip_pos1 {
             None
         } else {
-            Some(self.levels[1].as_dyn_mut().access(pos1_block, OramOp::Read, None))
+            Some(
+                self.levels[1]
+                    .as_dyn_mut()
+                    .access(pos1_block, OramOp::Read, None),
+            )
         };
         let data_outcome = self.levels[0].as_dyn_mut().access(data_block, op, payload);
 
@@ -463,11 +471,7 @@ impl HierarchicalOram {
 
     /// Lowers per-level outcomes into plan nodes with flavor-appropriate
     /// intra-request dependency edges.
-    fn lower(
-        &self,
-        builder: &mut AccessPlanBuilder,
-        outcomes: &mut [Option<LevelOutcome>; 3],
-    ) {
+    fn lower(&self, builder: &mut AccessPlanBuilder, outcomes: &mut [Option<LevelOutcome>; 3]) {
         let decrypt = self.config.decrypt_cycles;
         let palermo = self.config.flavor == ProtocolFlavor::Palermo;
         let path_family = self.config.flavor == ProtocolFlavor::PathOram;
@@ -526,8 +530,7 @@ impl HierarchicalOram {
                     0,
                 );
 
-                let er_reads: Vec<u64> =
-                    outcome.er.iter().flat_map(|b| b.reads.clone()).collect();
+                let er_reads: Vec<u64> = outcome.er.iter().flat_map(|b| b.reads.clone()).collect();
                 let er_writes: Vec<u64> =
                     outcome.er.iter().flat_map(|b| b.writes.clone()).collect();
                 let has_er = !outcome.er.is_empty();
@@ -772,7 +775,10 @@ mod tests {
             oram.access(pa, OramOp::Write, Some(Payload::from_u64(i)))
                 .unwrap();
         }
-        assert!(dummies > 0, "grouped prefetch should trigger background evictions");
+        assert!(
+            dummies > 0,
+            "grouped prefetch should trigger background evictions"
+        );
         assert_eq!(oram.stats().dummy_requests, dummies);
     }
 
@@ -814,7 +820,11 @@ mod tests {
         let mut rng = OramRng::new(9);
         for i in 0..2000u64 {
             let pa = PhysAddr::new(rng.gen_range(4096) * 64);
-            let op = if i % 4 == 0 { OramOp::Write } else { OramOp::Read };
+            let op = if i % 4 == 0 {
+                OramOp::Write
+            } else {
+                OramOp::Read
+            };
             let payload = (op == OramOp::Write).then(|| Payload::from_u64(i));
             oram.access(pa, op, payload).unwrap();
         }

@@ -210,8 +210,12 @@ impl HierarchyParams {
     ///
     /// Returns [`OramError::InvalidParams`] if the entry size does not divide
     /// the block size or if any derived level fails validation.
-    pub fn derive(data: OramParams, posmap_entry_bytes: u32, treetop_levels: u32) -> OramResult<Self> {
-        if posmap_entry_bytes == 0 || data.block_bytes % posmap_entry_bytes != 0 {
+    pub fn derive(
+        data: OramParams,
+        posmap_entry_bytes: u32,
+        treetop_levels: u32,
+    ) -> OramResult<Self> {
+        if posmap_entry_bytes == 0 || !data.block_bytes.is_multiple_of(posmap_entry_bytes) {
             return Err(OramError::InvalidParams {
                 reason: format!(
                     "posmap entry size {posmap_entry_bytes} must divide the block size {}",
@@ -354,7 +358,10 @@ mod tests {
 
     #[test]
     fn capacity_bytes_round_trip() {
-        let p = OramParams::builder().capacity_bytes(1 << 20).build().unwrap();
+        let p = OramParams::builder()
+            .capacity_bytes(1 << 20)
+            .build()
+            .unwrap();
         assert_eq!(p.num_blocks, (1 << 20) / 64);
     }
 }

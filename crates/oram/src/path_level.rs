@@ -185,11 +185,9 @@ impl PathLevel {
         for &node in path.iter().rev() {
             let level = self.geometry.level_of(node);
             let cap = self.capacity_at(level);
-            let candidates = self
-                .stash
-                .eviction_candidates(level, |block_leaf| {
-                    self.geometry.common_path_depth(leaf, block_leaf)
-                });
+            let candidates = self.stash.eviction_candidates(level, |block_leaf| {
+                self.geometry.common_path_depth(leaf, block_leaf)
+            });
             for block in candidates.into_iter() {
                 if self.bucket_mut(node).occupancy() >= cap {
                     break;
@@ -211,7 +209,12 @@ impl PathLevel {
         }
     }
 
-    fn serve(&mut self, block: Option<BlockId>, op: OramOp, payload: Option<Payload>) -> LevelOutcome {
+    fn serve(
+        &mut self,
+        block: Option<BlockId>,
+        op: OramOp,
+        payload: Option<Payload>,
+    ) -> LevelOutcome {
         let group = block.map(|b| self.group_of(b));
         let (leaf, leaf_new) = match group {
             Some(g) => self.posmap.remap(g, &mut self.rng),
@@ -249,7 +252,7 @@ impl PathLevel {
                 }
             }
 
-            outcome.found = self.stash.get(b).map_or(false, |e| e.payload.is_some());
+            outcome.found = self.stash.get(b).is_some_and(|e| e.payload.is_some());
             match self.stash.get_mut(b) {
                 Some(entry) => {
                     entry.leaf = leaf_new;

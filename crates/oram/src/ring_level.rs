@@ -240,7 +240,12 @@ impl RingLevel {
         self.stats.dram_writes += outcome.total_writes() as u64;
     }
 
-    fn serve(&mut self, block: Option<BlockId>, op: OramOp, payload: Option<Payload>) -> LevelOutcome {
+    fn serve(
+        &mut self,
+        block: Option<BlockId>,
+        op: OramOp,
+        payload: Option<Payload>,
+    ) -> LevelOutcome {
         let (leaf, leaf_new) = match block {
             Some(b) => self.posmap.remap(b, &mut self.rng),
             None => {
@@ -298,7 +303,7 @@ impl RingLevel {
         // Commit the access to the stash: the block now lives there under its
         // freshly drawn leaf until an eviction pushes it back into the tree.
         if let Some(b) = block {
-            outcome.found = self.stash.get(b).map_or(false, |e| e.payload.is_some());
+            outcome.found = self.stash.get(b).is_some_and(|e| e.payload.is_some());
             match self.stash.get_mut(b) {
                 Some(entry) => {
                     entry.leaf = leaf_new;
@@ -342,7 +347,7 @@ impl RingLevel {
         // Periodic EvictPath every A accesses (real accesses only).
         if block.is_some() {
             self.round += 1;
-            if self.round % u64::from(self.config.params.a) == 0 {
+            if self.round.is_multiple_of(u64::from(self.config.params.a)) {
                 outcome.ep = Some(self.evict_path());
             }
         }
@@ -575,7 +580,7 @@ mod tests {
                 oram.access(b, OramOp::Read, None);
             }
         }
-        let geometry = oram.geometry.clone();
+        let geometry = oram.geometry;
         for (node_id, bucket) in &oram.buckets {
             for sb in &bucket.real {
                 let mapped = oram.posmap.get(sb.block);

@@ -110,7 +110,10 @@ impl TreeGeometry {
     /// leaves. The result is at least 1 (the root is always shared) and at
     /// most [`TreeGeometry::levels`] (identical leaves).
     pub fn common_path_depth(&self, a: LeafId, b: LeafId) -> u32 {
-        assert!(a.0 < self.num_leaves && b.0 < self.num_leaves, "leaf out of range");
+        assert!(
+            a.0 < self.num_leaves && b.0 < self.num_leaves,
+            "leaf out of range"
+        );
         if self.levels == 1 {
             return 1;
         }
@@ -119,8 +122,8 @@ impl TreeGeometry {
             return self.levels;
         }
         let highest_diff_bit = 63 - diff.leading_zeros(); // 0-based
-        // The leaf index has `levels - 1` significant bits; the number of
-        // shared most-significant bits is how deep the paths stay together.
+                                                          // The leaf index has `levels - 1` significant bits; the number of
+                                                          // shared most-significant bits is how deep the paths stay together.
         let shared_bits = (self.levels - 1) - (highest_diff_bit + 1);
         shared_bits + 1
     }
@@ -261,11 +264,14 @@ mod tests {
     #[test]
     fn eviction_leaf_cycles_through_all_leaves() {
         let g = geom(16);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for i in 0..16 {
             seen[g.eviction_leaf(i).0 as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "eviction order must cover all leaves");
+        assert!(
+            seen.iter().all(|&s| s),
+            "eviction order must cover all leaves"
+        );
         // Reverse-lexicographic: consecutive counters map to far-apart leaves.
         assert_eq!(g.eviction_leaf(0), LeafId(0));
         assert_eq!(g.eviction_leaf(1), LeafId(8));

@@ -107,7 +107,12 @@ mod tests {
                 row.workload,
                 row.bandwidth_utilization
             );
-            assert!(row.sync_fraction > 0.1, "{}: sync {}", row.workload, row.sync_fraction);
+            assert!(
+                row.sync_fraction > 0.1,
+                "{}: sync {}",
+                row.workload,
+                row.sync_fraction
+            );
         }
         let t = table(&rows);
         assert_eq!(t.len(), 5);

@@ -86,7 +86,12 @@ pub fn table(rows: &[Fig04Row]) -> Table {
     );
     for r in rows {
         t.row(&[
-            if r.fat_tree { "PrORAM w/ Fat Tree" } else { "PrORAM" }.to_string(),
+            if r.fat_tree {
+                "PrORAM w/ Fat Tree"
+            } else {
+                "PrORAM"
+            }
+            .to_string(),
             format!("{}", r.prefetch_length),
             speedup(r.speedup),
             percent(r.dummy_ratio),

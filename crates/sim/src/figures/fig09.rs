@@ -69,7 +69,14 @@ pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig09Row>> {
 pub fn table(rows: &[Fig09Row]) -> Table {
     let mut t = Table::new(
         "Fig. 9 — attacker observations on Palermo",
-        &["workload", "row hit %", "bank conflict %", "mutual info", "mean lat", "lat std"],
+        &[
+            "workload",
+            "row hit %",
+            "bank conflict %",
+            "mutual info",
+            "mean lat",
+            "lat std",
+        ],
     );
     for r in rows {
         t.row(&[

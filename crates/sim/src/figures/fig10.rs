@@ -41,11 +41,7 @@ impl Fig10 {
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
-pub fn run(
-    config: &SystemConfig,
-    workloads: &[Workload],
-    schemes: &[Scheme],
-) -> OramResult<Fig10> {
+pub fn run(config: &SystemConfig, workloads: &[Workload], schemes: &[Scheme]) -> OramResult<Fig10> {
     let mut speedups = Vec::new();
     let mut all_metrics = Vec::new();
     for &workload in workloads {

@@ -70,7 +70,15 @@ pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig11Row>> {
 pub fn table(rows: &[Fig11Row]) -> Table {
     let mut t = Table::new(
         "Fig. 11 — memory-level parallelism: RingORAM vs Palermo",
-        &["workload", "ring util", "palermo util", "util gain", "ring outst", "palermo outst", "outst gain"],
+        &[
+            "workload",
+            "ring util",
+            "palermo util",
+            "util gain",
+            "ring outst",
+            "palermo outst",
+            "outst gain",
+        ],
     );
     for r in rows {
         t.row(&[

@@ -55,7 +55,12 @@ pub fn table(rows: &[Fig12Row]) -> Table {
             r.workload.name().to_string(),
             format!("{}", r.high_water),
             format!("{}", r.capacity),
-            if r.high_water <= r.capacity { "yes" } else { "NO" }.to_string(),
+            if r.high_water <= r.capacity {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     t

@@ -58,7 +58,10 @@ pub fn table(rows: &[Fig13Row]) -> Table {
         header.extend(first.points.iter().map(|(pf, _)| format!("pf={pf}")));
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = Table::new("Fig. 13 — Palermo prefetch-length sensitivity", &header_refs);
+    let mut t = Table::new(
+        "Fig. 13 — Palermo prefetch-length sensitivity",
+        &header_refs,
+    );
     for r in rows {
         let mut cells = vec![r.workload.name().to_string()];
         cells.extend(r.points.iter().map(|&(_, s)| speedup(s)));

@@ -72,7 +72,11 @@ pub fn run_z_sweep(config: &SystemConfig, zs: &[u16]) -> OramResult<Vec<ZSweepPo
             speedup_vs_smallest: 0.0,
         });
     }
-    let base = points.first().map(|p| p.throughput).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    let base = points
+        .first()
+        .map(|p| p.throughput)
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
     for p in &mut points {
         p.speedup_vs_smallest = p.throughput / base;
     }
@@ -96,7 +100,11 @@ pub fn run_pe_sweep(config: &SystemConfig, columns: &[usize]) -> OramResult<Vec<
             speedup_vs_one: 0.0,
         });
     }
-    let base = points.first().map(|p| p.throughput).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    let base = points
+        .first()
+        .map(|p| p.throughput)
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
     for p in &mut points {
         p.speedup_vs_one = p.throughput / base;
     }
@@ -107,7 +115,13 @@ pub fn run_pe_sweep(config: &SystemConfig, columns: &[usize]) -> OramResult<Vec<
 pub fn tables(z_points: &[ZSweepPoint], pe_points: &[PeSweepPoint]) -> (Table, Table) {
     let mut zt = Table::new(
         "Fig. 14a — Palermo sensitivity to Z",
-        &["Z", "S", "A", "throughput (req/kcyc)", "speedup vs smallest"],
+        &[
+            "Z",
+            "S",
+            "A",
+            "throughput (req/kcyc)",
+            "speedup vs smallest",
+        ],
     );
     for p in z_points {
         zt.row(&[

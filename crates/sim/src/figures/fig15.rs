@@ -29,7 +29,11 @@ pub fn table(est: &AreaPowerEstimate) -> Table {
         &["component", "area (mm^2)", "power (W)"],
     );
     for c in &est.components {
-        t.row(&[c.name.to_string(), format!("{:.3}", c.area_mm2), format!("{:.3}", c.power_w)]);
+        t.row(&[
+            c.name.to_string(),
+            format!("{:.3}", c.area_mm2),
+            format!("{:.3}", c.power_w),
+        ]);
     }
     t.row(&[
         "TOTAL".to_string(),

@@ -143,14 +143,17 @@ pub fn run_workload(
     } else {
         1
     };
-    let hierarchy_cfg = scheme.hierarchy_config(
-        params,
-        config.seed,
-        prefetch_length,
-        config.stash_capacity,
-    )?;
+    let hierarchy_cfg =
+        scheme.hierarchy_config(params, config.seed, prefetch_length, config.stash_capacity)?;
     let controller_cfg = scheme.controller_config(config.pe_columns);
-    run_with_configs(scheme, hierarchy_cfg, controller_cfg, workload, config, prefetch_length)
+    run_with_configs(
+        scheme,
+        hierarchy_cfg,
+        controller_cfg,
+        workload,
+        config,
+        prefetch_length,
+    )
 }
 
 /// Simulates a run with explicitly supplied protocol and controller
@@ -282,10 +285,12 @@ pub fn run_with_configs(
                     metrics.oram_requests += 1;
                     metrics.latencies.push(finished.latency());
                     metrics.behaviour_latency.push((found, finished.latency()));
-                    if metrics.oram_requests % sample_every == 0 {
+                    if metrics.oram_requests.is_multiple_of(sample_every) {
                         let progress =
                             metrics.oram_requests as f64 / config.measured_requests as f64;
-                        metrics.stash_samples.push((progress, oram.data_stash_len()));
+                        metrics
+                            .stash_samples
+                            .push((progress, oram.data_stash_len()));
                     }
                 }
             }

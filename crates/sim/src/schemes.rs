@@ -163,7 +163,12 @@ mod tests {
             Scheme::PalermoSw.controller_config(8).policy,
             SchedulePolicy::PalermoSoftware
         );
-        for scheme in [Scheme::PathOram, Scheme::RingOram, Scheme::PrOram, Scheme::IrOram] {
+        for scheme in [
+            Scheme::PathOram,
+            Scheme::RingOram,
+            Scheme::PrOram,
+            Scheme::IrOram,
+        ] {
             assert_eq!(
                 scheme.controller_config(8).policy,
                 SchedulePolicy::Serial,
@@ -177,9 +182,13 @@ mod tests {
         assert!(Scheme::PrOram.uses_prefetch());
         assert!(Scheme::PalermoPrefetch.uses_prefetch());
         assert!(!Scheme::Palermo.uses_prefetch());
-        let cfg = Scheme::Palermo.hierarchy_config(params(), 0, 1, 256).unwrap();
+        let cfg = Scheme::Palermo
+            .hierarchy_config(params(), 0, 1, 256)
+            .unwrap();
         assert_eq!(cfg.flavor, ProtocolFlavor::Palermo);
-        let cfg = Scheme::RingOram.hierarchy_config(params(), 0, 1, 256).unwrap();
+        let cfg = Scheme::RingOram
+            .hierarchy_config(params(), 0, 1, 256)
+            .unwrap();
         assert_eq!(cfg.flavor, ProtocolFlavor::RingOram);
     }
 

@@ -1,0 +1,205 @@
+//! Minimal, offline, API-compatible stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the real `criterion` crate cannot be downloaded. This shim
+//! implements exactly the API surface the `palermo-bench` targets use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId::new`, `black_box`) with a simple
+//! wall-clock measurement loop, so `cargo bench` still executes every
+//! benchmark body and reports a mean time per iteration.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a benchmark name and a displayable parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Trait unifying the `&str` / `String` / `BenchmarkId` arguments accepted
+/// by `bench_function` and `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// Render the id as the string used in reports.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration recorded by the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup call.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.last_mean_ns = elapsed.as_nanos() as f64 / self.iters.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations used per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.into_id_string(), b.last_mean_ns);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.into_id_string(), b.last_mean_ns);
+        self
+    }
+
+    /// Finish the group (report flushing is immediate in this shim).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{group}/{id}: mean {value:.3} {unit}/iter");
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored by this shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single closure outside of any group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id_string();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

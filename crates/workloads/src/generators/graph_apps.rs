@@ -83,7 +83,8 @@ impl PageRank {
         for (i, &n) in self.graph.neighbours(v).iter().enumerate() {
             // The edge list streams sequentially; the neighbour rank gather
             // is effectively random (power-law destinations).
-            self.buffer.push_read(self.layout.edge_addr(start + i as u64));
+            self.buffer
+                .push_read(self.layout.edge_addr(start + i as u64));
             self.buffer.push_read(self.layout.rank_addr(n));
         }
         self.buffer.push_write(self.layout.next_rank_addr(v));
@@ -132,7 +133,8 @@ impl MotifMining {
         let start = self.graph.offsets[v as usize];
         let neighbours = self.graph.neighbours(v);
         for (i, &n) in neighbours.iter().take(fanout).enumerate() {
-            self.buffer.push_read(self.layout.edge_addr(start + i as u64));
+            self.buffer
+                .push_read(self.layout.edge_addr(start + i as u64));
             self.buffer.push_read(self.layout.offset_addr(n));
         }
     }
@@ -194,6 +196,8 @@ mod tests {
     #[test]
     fn footprints_are_powers_of_two() {
         assert!(PageRank::new(5000, 1).footprint_bytes().is_power_of_two());
-        assert!(MotifMining::new(5000, 1).footprint_bytes().is_power_of_two());
+        assert!(MotifMining::new(5000, 1)
+            .footprint_bytes()
+            .is_power_of_two());
     }
 }

@@ -34,7 +34,8 @@ impl Mcf {
         self.buffer.push_span_read(node, 2);
         if self.rng.chance(0.35) {
             let run = 4 + self.rng.gen_range(4);
-            self.buffer.push_span_read(self.cursor % self.footprint, run);
+            self.buffer
+                .push_span_read(self.cursor % self.footprint, run);
             self.cursor = (self.cursor + run * 64) % self.footprint;
         }
         if self.rng.chance(0.15) {

@@ -72,7 +72,11 @@ mod tests {
     fn generates_requested_size() {
         let g = CsrGraph::synthetic(1000, 8, 0.8, 1);
         assert_eq!(g.num_vertices(), 1000);
-        assert!(g.num_edges() > 4000 && g.num_edges() < 12_000, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 4000 && g.num_edges() < 12_000,
+            "{}",
+            g.num_edges()
+        );
         assert_eq!(*g.offsets.last().unwrap(), g.num_edges());
     }
 

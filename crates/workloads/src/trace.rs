@@ -80,8 +80,16 @@ pub fn profile(stream: &mut dyn AccessStream, n: u64) -> TraceProfile {
     }
     TraceProfile {
         accesses: n,
-        write_fraction: if n == 0 { 0.0 } else { writes as f64 / n as f64 },
-        sequential_fraction: if n == 0 { 0.0 } else { sequential as f64 / n as f64 },
+        write_fraction: if n == 0 {
+            0.0
+        } else {
+            writes as f64 / n as f64
+        },
+        sequential_fraction: if n == 0 {
+            0.0
+        } else {
+            sequential as f64 / n as f64
+        },
         distinct_lines: lines.len() as u64,
     }
 }
@@ -95,7 +103,7 @@ mod tests {
     }
     impl AccessStream for Counter {
         fn next_access(&mut self) -> TraceEntry {
-            let e = if self.next % 4 == 0 {
+            let e = if self.next.is_multiple_of(4) {
                 TraceEntry::write(self.next * 64)
             } else {
                 TraceEntry::read(self.next * 64)

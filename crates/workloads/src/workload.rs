@@ -127,7 +127,11 @@ mod tests {
             assert!(footprint > 0, "{w}");
             for _ in 0..2000 {
                 let e = stream.next_access();
-                assert!(e.addr.0 < footprint, "{w}: {:#x} >= {footprint:#x}", e.addr.0);
+                assert!(
+                    e.addr.0 < footprint,
+                    "{w}: {:#x} >= {footprint:#x}",
+                    e.addr.0
+                );
             }
         }
     }
@@ -152,7 +156,10 @@ mod tests {
 
     #[test]
     fn prefetch_lengths_follow_locality() {
-        assert!(Workload::Streaming.default_prefetch_length() > Workload::Random.default_prefetch_length());
+        assert!(
+            Workload::Streaming.default_prefetch_length()
+                > Workload::Random.default_prefetch_length()
+        );
         assert_eq!(Workload::Random.default_prefetch_length(), 1);
     }
 }

@@ -46,8 +46,8 @@ impl Zipf {
         }
         if n > exact_n && theta < 1.0 {
             // Integral of x^-theta from EXACT_LIMIT to n.
-            sum += ((n as f64).powf(1.0 - theta) - (exact_n as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            sum +=
+                ((n as f64).powf(1.0 - theta) - (exact_n as f64).powf(1.0 - theta)) / (1.0 - theta);
         }
         sum
     }
@@ -149,6 +149,9 @@ mod tests {
                 seen_high = true;
             }
         }
-        assert!(seen_high, "scramble should spread hot ranks across the space");
+        assert!(
+            seen_high,
+            "scramble should spread hot ranks across the space"
+        );
     }
 }

@@ -31,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let avg_sync: f64 = rows.iter().map(|r| r.sync_fraction).sum::<f64>() / rows.len() as f64;
     let avg_util: f64 =
         rows.iter().map(|r| r.bandwidth_utilization).sum::<f64>() / rows.len() as f64;
-    println!("average bandwidth utilisation: {:.1}%  (paper: < 30%)", avg_util * 100.0);
-    println!("average ORAM-sync stall share: {:.1}%  (paper: ~72%)", avg_sync * 100.0);
+    println!(
+        "average bandwidth utilisation: {:.1}%  (paper: < 30%)",
+        avg_util * 100.0
+    );
+    println!(
+        "average ORAM-sync stall share: {:.1}%  (paper: ~72%)",
+        avg_sync * 100.0
+    );
     Ok(())
 }

@@ -12,11 +12,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SystemConfig::paper_default();
     cfg.measured_requests = 400;
     cfg.warmup_requests = 100;
-    if let Ok(n) = std::env::var("PALERMO_REQUESTS").map(|v| v.parse::<u64>()) {
-        if let Ok(n) = n {
-            cfg.measured_requests = n;
-            cfg.warmup_requests = n / 4;
-        }
+    if let Ok(Ok(n)) = std::env::var("PALERMO_REQUESTS").map(|v| v.parse::<u64>()) {
+        cfg.measured_requests = n;
+        cfg.warmup_requests = n / 4;
     }
     eprintln!("sweeping prefetch lengths on `stm` for PrORAM and PrORAM w/ Fat Tree ...");
     let rows = fig04::run(&cfg, &[1, 2, 4, 8, 16])?;

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut oram = HierarchicalOram::new(cfg)?;
 
     let secret_addr = PhysAddr::new(0x4_2040);
-    oram.access(secret_addr, OramOp::Write, Some(Payload::from_u64(0xC0FFEE)))?;
+    oram.access(
+        secret_addr,
+        OramOp::Write,
+        Some(Payload::from_u64(0xC0FFEE)),
+    )?;
     let read = oram.access(secret_addr, OramOp::Read, None)?;
     println!(
         "functional check: wrote 0xC0FFEE, read back {:#x} (found = {})",

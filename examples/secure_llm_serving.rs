@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "=> the attacker's best timing-based guess is within noise of a coin flip{}",
-                if mi < 0.01 { "" } else { " (small sample size inflates the estimate)" }
+                if mi < 0.01 {
+                    ""
+                } else {
+                    " (small sample size inflates the estimate)"
+                }
             );
         }
         None => println!("not enough samples of both behaviours to estimate leakage"),

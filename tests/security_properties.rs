@@ -42,7 +42,9 @@ fn repeated_accesses_to_one_address_touch_uniform_leaves() {
     let first_leaf_node = num_leaves - 1; // level-order id of the first leaf-level node
     let mut observed = Vec::new();
     for _ in 0..6000 {
-        let res = oram.access(PhysAddr::new(0x40), OramOp::Read, None).unwrap();
+        let res = oram
+            .access(PhysAddr::new(0x40), OramOp::Read, None)
+            .unwrap();
         let rp = res.plan.node(SubOram::Data, PhaseKind::ReadPath).unwrap();
         let deepest = *rp.reads.iter().max().unwrap();
         let node = deepest / bucket_stride; // data tree starts at DRAM base 0
@@ -67,7 +69,9 @@ fn address_is_remapped_on_every_access() {
     let mut identical = 0;
     let mut previous: Option<Vec<u64>> = None;
     for _ in 0..200 {
-        let res = oram.access(PhysAddr::new(0x1000), OramOp::Read, None).unwrap();
+        let res = oram
+            .access(PhysAddr::new(0x1000), OramOp::Read, None)
+            .unwrap();
         let reads = res
             .plan
             .node(SubOram::Data, PhaseKind::ReadPath)
@@ -109,11 +113,19 @@ fn write_data_is_unreadable_without_the_protocol() {
     // The payload stored for a block is only returned through the protocol;
     // a different address must never alias it.
     let mut oram = small_oram(ProtocolFlavor::Palermo);
-    oram.access(PhysAddr::new(0x2000), OramOp::Write, Some(Payload::from_u64(777)))
+    oram.access(
+        PhysAddr::new(0x2000),
+        OramOp::Write,
+        Some(Payload::from_u64(777)),
+    )
+    .unwrap();
+    let other = oram
+        .access(PhysAddr::new(0x4000), OramOp::Read, None)
         .unwrap();
-    let other = oram.access(PhysAddr::new(0x4000), OramOp::Read, None).unwrap();
     assert!(other.value.is_none());
-    let same = oram.access(PhysAddr::new(0x2000), OramOp::Read, None).unwrap();
+    let same = oram
+        .access(PhysAddr::new(0x2000), OramOp::Read, None)
+        .unwrap();
     assert_eq!(same.value.unwrap().as_u64(), 777);
 }
 

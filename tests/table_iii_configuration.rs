@@ -57,6 +57,14 @@ fn hierarchy_sizes_follow_the_recursion_of_fig_2() {
 #[test]
 fn area_power_estimate_is_in_the_published_ballpark() {
     let est = palermo::controller::estimate(&ControllerProvisioning::default());
-    assert!((est.total_area_mm2() - 5.78).abs() < 1.5, "{}", est.total_area_mm2());
-    assert!((est.total_power_w() - 2.14).abs() < 0.8, "{}", est.total_power_w());
+    assert!(
+        (est.total_area_mm2() - 5.78).abs() < 1.5,
+        "{}",
+        est.total_area_mm2()
+    );
+    assert!(
+        (est.total_power_w() - 2.14).abs() < 0.8,
+        "{}",
+        est.total_power_w()
+    );
 }
