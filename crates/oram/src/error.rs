@@ -30,6 +30,13 @@ pub enum OramError {
         /// Number of blocks in the protected space.
         num_blocks: u64,
     },
+    /// The workload produced so many consecutive LLC hits that no ORAM
+    /// request could be formed (the working set fits entirely in the LLC,
+    /// so the simulation cannot make progress).
+    WorkloadStalled {
+        /// Consecutive LLC-hit accesses scanned before giving up.
+        accesses_scanned: u64,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -48,6 +55,11 @@ impl fmt::Display for OramError {
             OramError::AddressOutOfRange { block, num_blocks } => write!(
                 f,
                 "block {block} is outside the protected space of {num_blocks} blocks"
+            ),
+            OramError::WorkloadStalled { accesses_scanned } => write!(
+                f,
+                "workload stalled: {accesses_scanned} consecutive LLC hits without a miss \
+(the working set fits entirely in the LLC)"
             ),
         }
     }
@@ -81,6 +93,12 @@ mod tests {
             num_blocks: 4,
         };
         assert!(e.to_string().contains("outside"));
+
+        let e = OramError::WorkloadStalled {
+            accesses_scanned: 1_000_001,
+        };
+        assert!(e.to_string().contains("stalled"));
+        assert!(e.to_string().contains("1000001"));
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Pluggable execution strategies for a grid of [`RunSpec`]s.
+//!
+//! Every run in a grid is independent — each one constructs its own ORAM,
+//! controller, DRAM model and workload stream from the spec — so a grid is
+//! embarrassingly parallel. [`ThreadPoolExecutor`] exploits that with
+//! scoped OS threads and *deterministic* result collection: results land in
+//! grid order regardless of which worker finishes first, and each run's
+//! randomness is derived solely from its spec's seed, so the metrics are
+//! byte-identical to a [`SerialExecutor`] run of the same grid.
+
+use super::results::RunRecord;
+use super::RunSpec;
+use palermo_oram::error::{OramError, OramResult};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An execution strategy for a batch of independent run specs.
+pub trait Executor {
+    /// Executes every spec, returning the records in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first (in spec order) failing run.
+    /// Implementations must preserve spec order in the returned records.
+    fn execute(&self, specs: Vec<RunSpec>) -> OramResult<Vec<RunRecord>>;
+}
+
+/// Runs every spec in order on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn execute(&self, specs: Vec<RunSpec>) -> OramResult<Vec<RunRecord>> {
+        specs.iter().map(RunSpec::run).collect()
+    }
+}
+
+/// Fans independent runs across a fixed number of OS threads using
+/// [`std::thread::scope`] (no external dependencies).
+///
+/// Workers claim specs from a shared atomic counter (dynamic load
+/// balancing: long runs don't serialise behind short ones) and store each
+/// result at the spec's own index, so the output order — and, because every
+/// run is seeded from its spec alone, every metric — is identical to what
+/// [`SerialExecutor`] produces.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPoolExecutor {
+    threads: usize,
+}
+
+impl ThreadPoolExecutor {
+    /// Creates an executor with the given worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPoolExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates an executor with one worker per available core.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The number of worker threads this executor will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ThreadPoolExecutor {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+impl Executor for ThreadPoolExecutor {
+    fn execute(&self, specs: Vec<RunSpec>) -> OramResult<Vec<RunRecord>> {
+        let n = specs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<OramResult<RunRecord>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = specs[i].run();
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .unwrap_or_else(|| {
+                        // Unreachable: the scope joins every worker and the
+                        // counter hands each index to exactly one of them.
+                        Err(OramError::InvalidParams {
+                            reason: "executor worker dropped a run".into(),
+                        })
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::schemes::Scheme;
+    use crate::system::SystemConfig;
+    use palermo_workloads::Workload;
+
+    fn tiny() -> SystemConfig {
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 20;
+        cfg.warmup_requests = 5;
+        cfg
+    }
+
+    fn grid() -> Experiment {
+        Experiment::new(tiny())
+            .schemes([Scheme::PathOram, Scheme::RingOram, Scheme::Palermo])
+            .workloads([Workload::Random, Workload::Mcf])
+    }
+
+    #[test]
+    fn thread_pool_matches_serial_exactly() {
+        let serial = grid().run(&SerialExecutor).unwrap();
+        let pooled = grid().run(&ThreadPoolExecutor::new(4)).unwrap();
+        assert_eq!(serial.len(), pooled.len());
+        for (s, p) in serial.iter().zip(pooled.iter()) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.metrics.cycles, p.metrics.cycles);
+            assert_eq!(s.metrics.latencies, p.metrics.latencies);
+            assert_eq!(s.metrics.oram_requests, p.metrics.oram_requests);
+            assert_eq!(s.metrics.dram.reads, p.metrics.dram.reads);
+        }
+    }
+
+    #[test]
+    fn thread_pool_handles_more_threads_than_specs() {
+        let set = Experiment::new(tiny())
+            .schemes([Scheme::Palermo])
+            .workloads([Workload::Random])
+            .run(&ThreadPoolExecutor::new(16))
+            .unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let set = Experiment::new(tiny())
+            .run(&ThreadPoolExecutor::new(2))
+            .unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn first_error_in_spec_order_wins() {
+        let mut bad = tiny();
+        bad.protected_bytes = 0; // invalid: zero-sized protected space
+        let err = Experiment::new(tiny())
+            .schemes([Scheme::Palermo])
+            .workloads([Workload::Random])
+            .spec(super::super::RunSpec::new(
+                Scheme::Palermo,
+                Workload::Random,
+                bad,
+            ))
+            .run(&ThreadPoolExecutor::new(2))
+            .unwrap_err();
+        assert!(matches!(err, OramError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn constructors_clamp_and_report_threads() {
+        assert_eq!(ThreadPoolExecutor::new(0).threads(), 1);
+        assert!(ThreadPoolExecutor::with_available_parallelism().threads() >= 1);
+        assert!(ThreadPoolExecutor::default().threads() >= 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The typed experiment surface of the simulator.
+//!
+//! The paper's evaluation is a large grid of *independent* (scheme ×
+//! workload × configuration) simulations. This module replaces the
+//! hand-rolled nested loops the figure runners used to build around
+//! [`run_workload`] with three pieces:
+//!
+//! * [`RunSpec`] — a fully-resolved description of one simulation run
+//!   (scheme, workload, per-run [`SystemConfig`], label);
+//! * [`Experiment`] — a builder that composes grids and sweeps of
+//!   `RunSpec`s declaratively;
+//! * [`Executor`] — a pluggable execution strategy. [`SerialExecutor`]
+//!   runs the specs in order; [`ThreadPoolExecutor`] fans them across OS
+//!   threads with deterministic, order-preserving result collection.
+//!
+//! Results come back as a [`ResultSet`] of [`RunRecord`]s with
+//! baseline-normalisation, geo-mean and CSV/JSON export helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use palermo_sim::experiment::{Experiment, SerialExecutor};
+//! use palermo_sim::{Scheme, SystemConfig};
+//! use palermo_workloads::Workload;
+//!
+//! let mut cfg = SystemConfig::small_for_tests();
+//! cfg.measured_requests = 20;
+//! cfg.warmup_requests = 5;
+//! let results = Experiment::new(cfg)
+//!     .schemes([Scheme::PathOram, Scheme::Palermo])
+//!     .workloads([Workload::Random])
+//!     .run(&SerialExecutor)?;
+//! assert_eq!(results.len(), 2);
+//! let speedup = results
+//!     .speedup_over(Scheme::PathOram, Scheme::Palermo, Workload::Random)
+//!     .unwrap();
+//! assert!(speedup > 1.0);
+//! # Ok::<(), palermo_oram::error::OramError>(())
+//! ```
+
+pub mod executor;
+pub mod results;
+
+pub use executor::{Executor, SerialExecutor, ThreadPoolExecutor};
+pub use results::{ResultSet, RunRecord, RunSummary};
+
+use crate::runner::{run_with_configs, run_workload, RunMetrics};
+use crate::schemes::Scheme;
+use crate::system::SystemConfig;
+use palermo_controller::ControllerConfig;
+use palermo_oram::error::OramResult;
+use palermo_oram::hierarchy::HierarchyConfig;
+use palermo_workloads::Workload;
+
+/// Explicit protocol/controller configurations for a run that falls outside
+/// the standard [`Scheme`] set (e.g. PrORAM without the fat tree for
+/// Fig. 4). The spec's `scheme` is then only a label on the metrics.
+#[derive(Debug, Clone)]
+pub struct CustomProtocol {
+    /// The protocol configuration to instantiate.
+    pub hierarchy: HierarchyConfig,
+    /// The controller model to execute the access plans on.
+    pub controller: ControllerConfig,
+    /// Prefetch length recorded on the metrics (1 = no prefetch).
+    pub prefetch_length: u32,
+}
+
+/// A fully-resolved description of one simulation run.
+///
+/// A `RunSpec` is self-contained: executing it needs no context beyond the
+/// spec itself, which is what makes a grid of them embarrassingly parallel.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The ORAM design to simulate (or to label a custom run with).
+    pub scheme: Scheme,
+    /// The workload driving the run.
+    pub workload: Workload,
+    /// The complete system configuration, per-run overrides already applied.
+    pub config: SystemConfig,
+    /// Human-readable label; unique within one experiment's grid.
+    pub label: String,
+    /// Explicit protocol/controller configuration overriding the standard
+    /// scheme wiring, if any.
+    pub custom: Option<CustomProtocol>,
+}
+
+impl RunSpec {
+    /// Creates a spec with the default `scheme/workload` label.
+    pub fn new(scheme: Scheme, workload: Workload, config: SystemConfig) -> Self {
+        RunSpec {
+            scheme,
+            workload,
+            config,
+            label: format!("{scheme}/{workload}"),
+            custom: None,
+        }
+    }
+
+    /// Replaces the label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Attaches an explicit protocol/controller configuration.
+    #[must_use]
+    pub fn with_custom(mut self, custom: CustomProtocol) -> Self {
+        self.custom = Some(custom);
+        self
+    }
+
+    /// Executes this spec, producing the run's metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation errors from the protocol
+    /// layer (e.g. [`OramError::WorkloadStalled`] when the working set fits
+    /// entirely in the LLC).
+    ///
+    /// [`OramError::WorkloadStalled`]: palermo_oram::error::OramError::WorkloadStalled
+    pub fn execute(&self) -> OramResult<RunMetrics> {
+        match &self.custom {
+            Some(custom) => run_with_configs(
+                self.scheme,
+                custom.hierarchy.clone(),
+                custom.controller,
+                self.workload,
+                &self.config,
+                custom.prefetch_length,
+            ),
+            None => run_workload(self.scheme, self.workload, &self.config),
+        }
+    }
+
+    /// Executes this spec and wraps the metrics in a [`RunRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`RunSpec::execute`].
+    pub fn run(&self) -> OramResult<RunRecord> {
+        let metrics = self.execute()?;
+        Ok(RunRecord {
+            label: self.label.clone(),
+            scheme: self.scheme,
+            workload: self.workload,
+            metrics,
+        })
+    }
+}
+
+/// A declarative builder for grids and sweeps of [`RunSpec`]s.
+///
+/// The grid is the cross product
+/// `config variants × workloads × schemes × prefetch points`, in that
+/// nesting order (workloads outermost after variants, matching the row
+/// order the paper's figures use), plus any explicitly added specs.
+///
+/// ```
+/// use palermo_sim::experiment::Experiment;
+/// use palermo_sim::{Scheme, SystemConfig};
+/// use palermo_workloads::Workload;
+///
+/// let specs = Experiment::new(SystemConfig::small_for_tests())
+///     .schemes(Scheme::ALL)
+///     .workloads([Workload::Mcf, Workload::Random])
+///     .build();
+/// assert_eq!(specs.len(), Scheme::ALL.len() * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    base: SystemConfig,
+    schemes: Vec<Scheme>,
+    workloads: Vec<Workload>,
+    prefetch_lengths: Vec<u32>,
+    variants: Vec<(String, SystemConfig)>,
+    extra: Vec<RunSpec>,
+}
+
+impl Experiment {
+    /// Starts an experiment from a base system configuration.
+    pub fn new(base: SystemConfig) -> Self {
+        Experiment {
+            base,
+            schemes: Vec::new(),
+            workloads: Vec::new(),
+            prefetch_lengths: Vec::new(),
+            variants: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds schemes to the grid (column dimension).
+    #[must_use]
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = Scheme>) -> Self {
+        self.schemes.extend(schemes);
+        self
+    }
+
+    /// Adds workloads to the grid (row dimension).
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Sweeps the prefetch length over the given values: each grid cell is
+    /// run once per length with `prefetch_override` set. Without this call
+    /// every run uses the workload's default length.
+    #[must_use]
+    pub fn sweep_prefetch(mut self, lengths: impl IntoIterator<Item = u32>) -> Self {
+        self.prefetch_lengths.extend(lengths);
+        self
+    }
+
+    /// Adds a named configuration variant derived from the base
+    /// configuration. Calling this repeatedly builds a sweep: the grid is
+    /// run once per variant. Without any variant the base configuration is
+    /// used as-is.
+    #[must_use]
+    pub fn sweep_config(
+        mut self,
+        label: impl Into<String>,
+        mutate: impl FnOnce(&mut SystemConfig),
+    ) -> Self {
+        let mut cfg = self.base;
+        mutate(&mut cfg);
+        self.variants.push((label.into(), cfg));
+        self
+    }
+
+    /// Appends an explicitly constructed spec (used for runs outside the
+    /// standard scheme wiring, e.g. the Fig. 4 PrORAM variants).
+    #[must_use]
+    pub fn spec(mut self, spec: RunSpec) -> Self {
+        self.extra.push(spec);
+        self
+    }
+
+    /// Appends a batch of explicitly constructed specs.
+    #[must_use]
+    pub fn specs(mut self, specs: impl IntoIterator<Item = RunSpec>) -> Self {
+        self.extra.extend(specs);
+        self
+    }
+
+    /// Materialises the grid into an ordered list of run specs.
+    pub fn build(&self) -> Vec<RunSpec> {
+        let variants: Vec<(String, SystemConfig)> = if self.variants.is_empty() {
+            vec![(String::new(), self.base)]
+        } else {
+            self.variants.clone()
+        };
+        let prefetch: Vec<Option<u32>> = if self.prefetch_lengths.is_empty() {
+            vec![None]
+        } else {
+            self.prefetch_lengths.iter().copied().map(Some).collect()
+        };
+        let mut specs = Vec::new();
+        for (vlabel, vcfg) in &variants {
+            for &workload in &self.workloads {
+                for &scheme in &self.schemes {
+                    for &pf in &prefetch {
+                        let mut config = *vcfg;
+                        if let Some(p) = pf {
+                            config.prefetch_override = Some(p);
+                        }
+                        let mut label = format!("{scheme}/{workload}");
+                        if !vlabel.is_empty() {
+                            label = format!("{label}/{vlabel}");
+                        }
+                        if let Some(p) = pf {
+                            label = format!("{label}/pf={p}");
+                        }
+                        specs.push(RunSpec {
+                            scheme,
+                            workload,
+                            config,
+                            label,
+                            custom: None,
+                        });
+                    }
+                }
+            }
+        }
+        specs.extend(self.extra.iter().cloned());
+        specs
+    }
+
+    /// Builds the grid and executes it on the given executor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of the first (in grid order) failing run.
+    pub fn run<E: Executor + ?Sized>(&self, executor: &E) -> OramResult<ResultSet> {
+        Ok(ResultSet::new(executor.execute(self.build())?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SystemConfig {
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 20;
+        cfg.warmup_requests = 5;
+        cfg
+    }
+
+    #[test]
+    fn grid_is_the_cross_product_in_row_major_order() {
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::PathOram, Scheme::Palermo])
+            .workloads([Workload::Mcf, Workload::Random])
+            .build();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].label, "PathORAM/mcf");
+        assert_eq!(specs[1].label, "Palermo/mcf");
+        assert_eq!(specs[2].label, "PathORAM/random");
+        assert_eq!(specs[3].label, "Palermo/random");
+    }
+
+    #[test]
+    fn prefetch_sweep_multiplies_the_grid_and_sets_the_override() {
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::PalermoPrefetch])
+            .workloads([Workload::Streaming])
+            .sweep_prefetch([2, 8])
+            .build();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].config.prefetch_override, Some(2));
+        assert_eq!(specs[1].config.prefetch_override, Some(8));
+        assert!(specs[1].label.ends_with("pf=8"));
+    }
+
+    #[test]
+    fn config_sweep_produces_one_variant_per_call() {
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::Palermo])
+            .workloads([Workload::Random])
+            .sweep_config("pe=1", |c| c.pe_columns = 1)
+            .sweep_config("pe=8", |c| c.pe_columns = 8)
+            .build();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].config.pe_columns, 1);
+        assert_eq!(specs[1].config.pe_columns, 8);
+        assert_eq!(specs[0].label, "Palermo/random/pe=1");
+    }
+
+    #[test]
+    fn explicit_specs_ride_along_after_the_grid() {
+        let extra = RunSpec::new(Scheme::RingOram, Workload::Llm, tiny()).with_label("extra");
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::Palermo])
+            .workloads([Workload::Random])
+            .spec(extra)
+            .build();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].label, "extra");
+    }
+
+    #[test]
+    fn spec_executes_like_run_workload() {
+        let cfg = tiny();
+        let spec = RunSpec::new(Scheme::Palermo, Workload::Random, cfg);
+        let direct = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
+        let via_spec = spec.execute().unwrap();
+        assert_eq!(via_spec.cycles, direct.cycles);
+        assert_eq!(via_spec.latencies, direct.latencies);
+    }
+}

@@ -1,0 +1,554 @@
+//! Result collection: per-run records, baseline normalisation, geo-means
+//! and dependency-free CSV/JSON export.
+
+use crate::runner::RunMetrics;
+use crate::schemes::Scheme;
+use palermo_analysis::stats::geometric_mean;
+use palermo_workloads::Workload;
+use std::fmt::Write as _;
+
+/// The outcome of one executed [`RunSpec`](super::RunSpec).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The spec's label.
+    pub label: String,
+    /// The scheme that was simulated.
+    pub scheme: Scheme,
+    /// The workload that drove it.
+    pub workload: Workload,
+    /// Full metrics of the measured window.
+    pub metrics: RunMetrics,
+}
+
+impl RunRecord {
+    /// The scalar summary of this record used by the CSV/JSON exports.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            label: self.label.clone(),
+            scheme: self.scheme,
+            workload: self.workload,
+            prefetch_length: self.metrics.prefetch_length,
+            oram_requests: self.metrics.oram_requests,
+            workload_accesses: self.metrics.workload_accesses,
+            dummy_requests: self.metrics.dummy_requests,
+            cycles: self.metrics.cycles,
+            mean_latency: self.metrics.mean_latency(),
+            llc_hit_rate: self.metrics.llc_hit_rate,
+            stash_high_water: self.metrics.stash_high_water,
+            bandwidth_utilization: self.metrics.dram.bandwidth_utilization(),
+            sync_stall_cycles: self.metrics.sync_stall_cycles,
+        }
+    }
+}
+
+/// The scalar per-run summary exported to CSV/JSON (and parsed back by the
+/// round-trip helpers). Floats use Rust's shortest round-trippable
+/// formatting, so `to_*`/`parse_*` round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// The spec's label (commas are replaced by `;` in CSV output).
+    pub label: String,
+    /// The scheme.
+    pub scheme: Scheme,
+    /// The workload.
+    pub workload: Workload,
+    /// Prefetch length the run used (1 = none).
+    pub prefetch_length: u32,
+    /// Real ORAM requests completed in the measured window.
+    pub oram_requests: u64,
+    /// Workload accesses consumed in the measured window.
+    pub workload_accesses: u64,
+    /// Dummy (background-eviction) requests completed.
+    pub dummy_requests: u64,
+    /// Cycles spent in the measured window.
+    pub cycles: u64,
+    /// Mean ORAM response latency in cycles.
+    pub mean_latency: f64,
+    /// LLC hit rate over the whole run.
+    pub llc_hit_rate: f64,
+    /// Highest stash occupancy observed anywhere in the hierarchy.
+    pub stash_high_water: usize,
+    /// DRAM data-bus utilisation over the measured window.
+    pub bandwidth_utilization: f64,
+    /// Total ORAM-sync stall cycles over the measured window.
+    pub sync_stall_cycles: u64,
+}
+
+impl RunSummary {
+    /// The CSV header row matching [`RunSummary::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "label,scheme,workload,prefetch_length,oram_requests,\
+workload_accesses,dummy_requests,cycles,mean_latency,llc_hit_rate,stash_high_water,\
+bandwidth_utilization,sync_stall_cycles";
+
+    /// Measured workload accesses per cycle (the end-to-end speedup metric).
+    pub fn accesses_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.workload_accesses as f64 / self.cycles as f64
+    }
+
+    /// Renders one CSV data row (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            sanitize_csv(&self.label),
+            self.scheme,
+            self.workload,
+            self.prefetch_length,
+            self.oram_requests,
+            self.workload_accesses,
+            self.dummy_requests,
+            self.cycles,
+            self.mean_latency,
+            self.llc_hit_rate,
+            self.stash_high_water,
+            self.bandwidth_utilization,
+            self.sync_stall_cycles,
+        )
+    }
+
+    /// Parses one CSV data row produced by [`RunSummary::to_csv_row`].
+    /// Returns `None` on a malformed row or an unknown scheme/workload name.
+    pub fn from_csv_row(row: &str) -> Option<RunSummary> {
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 13 {
+            return None;
+        }
+        Some(RunSummary {
+            label: fields[0].to_string(),
+            scheme: Scheme::from_name(fields[1])?,
+            workload: Workload::from_name(fields[2])?,
+            prefetch_length: fields[3].parse().ok()?,
+            oram_requests: fields[4].parse().ok()?,
+            workload_accesses: fields[5].parse().ok()?,
+            dummy_requests: fields[6].parse().ok()?,
+            cycles: fields[7].parse().ok()?,
+            mean_latency: fields[8].parse().ok()?,
+            llc_hit_rate: fields[9].parse().ok()?,
+            stash_high_water: fields[10].parse().ok()?,
+            bandwidth_utilization: fields[11].parse().ok()?,
+            sync_stall_cycles: fields[12].parse().ok()?,
+        })
+    }
+
+    /// Renders this summary as one flat JSON object.
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\
+\"prefetch_length\":{},\"oram_requests\":{},\"workload_accesses\":{},\
+\"dummy_requests\":{},\"cycles\":{},\"mean_latency\":{},\"llc_hit_rate\":{},\
+\"stash_high_water\":{},\"bandwidth_utilization\":{},\"sync_stall_cycles\":{}}}",
+            escape_json(&self.label),
+            self.scheme,
+            self.workload,
+            self.prefetch_length,
+            self.oram_requests,
+            self.workload_accesses,
+            self.dummy_requests,
+            self.cycles,
+            self.mean_latency,
+            self.llc_hit_rate,
+            self.stash_high_water,
+            self.bandwidth_utilization,
+            self.sync_stall_cycles,
+        )
+    }
+}
+
+/// Makes a label safe for one CSV cell: the separator becomes `;` and
+/// control characters (which would break the line structure) become spaces.
+fn sanitize_csv(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            ',' => ';',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The ordered results of one executed experiment grid.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    records: Vec<RunRecord>,
+}
+
+impl ResultSet {
+    /// Wraps an ordered list of records.
+    pub fn new(records: Vec<RunRecord>) -> Self {
+        ResultSet { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the set holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates the records in grid order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RunRecord> {
+        self.records.iter()
+    }
+
+    /// The records in grid order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Consumes the set, returning the owned records in grid order (use
+    /// this to move `RunMetrics` out instead of cloning them).
+    pub fn into_records(self) -> Vec<RunRecord> {
+        self.records
+    }
+
+    /// The first record for the given (scheme, workload) cell, if any.
+    /// Sweeps produce several records per cell — disambiguate those with
+    /// [`ResultSet::by_label`].
+    pub fn get(&self, scheme: Scheme, workload: Workload) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .find(|r| r.scheme == scheme && r.workload == workload)
+    }
+
+    /// The record with the given label, if any.
+    pub fn by_label(&self, label: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.label == label)
+    }
+
+    /// End-to-end speedup (workload accesses per cycle) of `scheme` over
+    /// `baseline` on one workload. `None` when either run is missing.
+    pub fn speedup_over(
+        &self,
+        baseline: Scheme,
+        scheme: Scheme,
+        workload: Workload,
+    ) -> Option<f64> {
+        let base = self.get(baseline, workload)?.metrics.accesses_per_cycle();
+        let this = self.get(scheme, workload)?.metrics.accesses_per_cycle();
+        Some(this / base.max(f64::MIN_POSITIVE))
+    }
+
+    /// The `workloads × schemes` matrix of speedups over `baseline`
+    /// (missing cells are 0.0) — the Fig. 10 normalisation.
+    pub fn speedup_matrix(
+        &self,
+        baseline: Scheme,
+        workloads: &[Workload],
+        schemes: &[Scheme],
+    ) -> Vec<Vec<f64>> {
+        workloads
+            .iter()
+            .map(|&w| {
+                schemes
+                    .iter()
+                    .map(|&s| self.speedup_over(baseline, s, w).unwrap_or(0.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Geometric-mean speedup of `scheme` over `baseline` across the given
+    /// workloads (cells missing from the set are skipped).
+    pub fn geo_mean_speedup(
+        &self,
+        baseline: Scheme,
+        scheme: Scheme,
+        workloads: &[Workload],
+    ) -> f64 {
+        let speedups: Vec<f64> = workloads
+            .iter()
+            .filter_map(|&w| self.speedup_over(baseline, scheme, w))
+            .collect();
+        geometric_mean(&speedups)
+    }
+
+    /// The scalar summaries of every record, in grid order.
+    pub fn summaries(&self) -> Vec<RunSummary> {
+        self.records.iter().map(RunRecord::summary).collect()
+    }
+
+    /// Renders the set as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", RunSummary::CSV_HEADER);
+        for record in &self.records {
+            let _ = writeln!(out, "{}", record.summary().to_csv_row());
+        }
+        out
+    }
+
+    /// Parses CSV produced by [`ResultSet::to_csv`] back into summaries.
+    /// Returns `None` on a malformed document.
+    pub fn parse_csv(csv: &str) -> Option<Vec<RunSummary>> {
+        let mut lines = csv.lines();
+        if lines.next()? != RunSummary::CSV_HEADER {
+            return None;
+        }
+        lines.map(RunSummary::from_csv_row).collect()
+    }
+
+    /// Renders the set as a JSON array of flat per-run objects.
+    pub fn to_json(&self) -> String {
+        let objects: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| format!("  {}", r.summary().to_json_object()))
+            .collect();
+        format!("[\n{}\n]\n", objects.join(",\n"))
+    }
+
+    /// Parses JSON produced by [`ResultSet::to_json`] back into summaries.
+    /// This is a minimal reader for the flat shape this module emits, not a
+    /// general JSON parser. Returns `None` on malformed input.
+    pub fn parse_json(json: &str) -> Option<Vec<RunSummary>> {
+        let body = json.trim();
+        let body = body.strip_prefix('[')?.strip_suffix(']')?.trim();
+        if body.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut summaries = Vec::new();
+        for object in split_top_level_objects(body)? {
+            summaries.push(summary_from_json_object(&object)?);
+        }
+        Some(summaries)
+    }
+}
+
+impl<'a> IntoIterator for &'a ResultSet {
+    type Item = &'a RunRecord;
+    type IntoIter = std::slice::Iter<'a, RunRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Splits `{..},{..},..` into the individual `{..}` bodies, honouring
+/// string literals so braces inside labels don't confuse the nesting count.
+fn split_top_level_objects(body: &str) -> Option<Vec<String>> {
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut current = String::new();
+    for c in body.chars() {
+        if in_string {
+            current.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                current.push(c);
+            }
+            '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                current.push(c);
+                if depth == 0 {
+                    objects.push(current.trim().to_string());
+                    current = String::new();
+                }
+            }
+            ',' if depth == 0 => {}
+            _ => {
+                if depth > 0 {
+                    current.push(c);
+                }
+            }
+        }
+    }
+    if depth != 0 || in_string {
+        return None;
+    }
+    Some(objects)
+}
+
+/// Extracts the value of `"key":` from a flat JSON object body.
+fn json_field(object: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = object.find(&marker)? + marker.len();
+    let rest = &object[start..];
+    if let Some(rest) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote, decoding the
+        // escapes `escape_json` can produce.
+        let mut value = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => return Some(value),
+                '\\' => match chars.next()? {
+                    '"' => value.push('"'),
+                    '\\' => value.push('\\'),
+                    'n' => value.push('\n'),
+                    'r' => value.push('\r'),
+                    't' => value.push('\t'),
+                    'u' => {
+                        let hex: String = chars.by_ref().take(4).collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        value.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => value.push(c),
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+fn summary_from_json_object(object: &str) -> Option<RunSummary> {
+    Some(RunSummary {
+        label: json_field(object, "label")?,
+        scheme: Scheme::from_name(&json_field(object, "scheme")?)?,
+        workload: Workload::from_name(&json_field(object, "workload")?)?,
+        prefetch_length: json_field(object, "prefetch_length")?.parse().ok()?,
+        oram_requests: json_field(object, "oram_requests")?.parse().ok()?,
+        workload_accesses: json_field(object, "workload_accesses")?.parse().ok()?,
+        dummy_requests: json_field(object, "dummy_requests")?.parse().ok()?,
+        cycles: json_field(object, "cycles")?.parse().ok()?,
+        mean_latency: json_field(object, "mean_latency")?.parse().ok()?,
+        llc_hit_rate: json_field(object, "llc_hit_rate")?.parse().ok()?,
+        stash_high_water: json_field(object, "stash_high_water")?.parse().ok()?,
+        bandwidth_utilization: json_field(object, "bandwidth_utilization")?.parse().ok()?,
+        sync_stall_cycles: json_field(object, "sync_stall_cycles")?.parse().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, SerialExecutor};
+    use crate::system::SystemConfig;
+
+    fn small_set() -> ResultSet {
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 20;
+        cfg.warmup_requests = 5;
+        Experiment::new(cfg)
+            .schemes([Scheme::PathOram, Scheme::Palermo])
+            .workloads([Workload::Random])
+            .run(&SerialExecutor)
+            .unwrap()
+    }
+
+    #[test]
+    fn speedup_and_geo_mean_normalise_against_the_baseline() {
+        let set = small_set();
+        let self_speedup = set
+            .speedup_over(Scheme::PathOram, Scheme::PathOram, Workload::Random)
+            .unwrap();
+        assert!((self_speedup - 1.0).abs() < 1e-12);
+        let palermo = set
+            .speedup_over(Scheme::PathOram, Scheme::Palermo, Workload::Random)
+            .unwrap();
+        assert!(palermo > 1.0);
+        let matrix = set.speedup_matrix(Scheme::PathOram, &[Workload::Random], &[Scheme::Palermo]);
+        assert_eq!(matrix, vec![vec![palermo]]);
+        let gm = set.geo_mean_speedup(Scheme::PathOram, Scheme::Palermo, &[Workload::Random]);
+        assert!((gm - palermo).abs() < 1e-12);
+        assert!(set
+            .speedup_over(Scheme::IrOram, Scheme::Palermo, Workload::Random)
+            .is_none());
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let set = small_set();
+        let parsed = ResultSet::parse_csv(&set.to_csv()).unwrap();
+        assert_eq!(parsed, set.summaries());
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let set = small_set();
+        let parsed = ResultSet::parse_json(&set.to_json()).unwrap();
+        assert_eq!(parsed, set.summaries());
+    }
+
+    #[test]
+    fn json_labels_with_quotes_braces_and_control_chars_survive() {
+        let set = small_set();
+        let mut record = set.records()[0].clone();
+        record.label = "odd \"label\" with {braces},\ncommas\tand\u{1}controls".to_string();
+        let odd = ResultSet::new(vec![record.clone()]);
+        let parsed = ResultSet::parse_json(&odd.to_json()).unwrap();
+        assert_eq!(
+            parsed[0].label,
+            "odd \"label\" with {braces},\ncommas\tand\u{1}controls"
+        );
+        // The JSON document itself contains no raw control characters.
+        assert!(!odd.to_json().chars().any(|c| c.is_control() && c != '\n'));
+        // CSV flattens the label but stays one well-formed row per record.
+        let csv = odd.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        let parsed = ResultSet::parse_csv(&csv).unwrap();
+        assert_eq!(
+            parsed[0].label,
+            "odd \"label\" with {braces}; commas and controls"
+        );
+    }
+
+    #[test]
+    fn into_records_moves_the_metrics_out() {
+        let set = small_set();
+        let len = set.len();
+        let records = set.into_records();
+        assert_eq!(records.len(), len);
+        assert!(records.iter().all(|r| !r.metrics.latencies.is_empty()));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(ResultSet::parse_csv("not,a,header\n1,2").is_none());
+        assert!(ResultSet::parse_json("{\"not\":\"an array\"").is_none());
+        assert!(RunSummary::from_csv_row("too,few,fields").is_none());
+        assert_eq!(ResultSet::parse_json("[]").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn lookup_helpers_find_records() {
+        let set = small_set();
+        assert!(set.get(Scheme::Palermo, Workload::Random).is_some());
+        assert!(set.by_label("Palermo/random").is_some());
+        assert!(set.by_label("nope").is_none());
+        assert_eq!(set.iter().count(), set.len());
+        assert_eq!((&set).into_iter().count(), 2);
+    }
+}

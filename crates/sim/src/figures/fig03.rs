@@ -4,7 +4,7 @@
 //! bandwidth utilisation under ~30 % and spends ~72 % of its memory cycles
 //! in ORAM-sync stalls, split roughly evenly between the three sub-ORAMs.
 
-use crate::runner::run_workload;
+use crate::experiment::{Executor, Experiment, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::{percent, Table};
@@ -29,17 +29,33 @@ pub struct Fig03Row {
     pub avg_queue_occupancy: f64,
 }
 
-/// Runs the Fig. 3 experiment.
+/// Runs the Fig. 3 experiment serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig03Row>> {
-    super::DEEP_DIVE_WORKLOADS
+    run_with(config, &SerialExecutor)
+}
+
+/// Runs the Fig. 3 experiment on the given executor.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Vec<Fig03Row>> {
+    let results = Experiment::new(*config)
+        .schemes([Scheme::RingOram])
+        .workloads(
+            super::DEEP_DIVE_WORKLOADS
+                .into_iter()
+                .chain(std::iter::once(Workload::Random)),
+        )
+        .run(executor)?;
+    Ok(results
         .iter()
-        .chain(std::iter::once(&Workload::Random))
-        .map(|&workload| {
-            let m = run_workload(Scheme::RingOram, workload, config)?;
+        .map(|record| {
+            let m = &record.metrics;
             let level_total: u64 = m.sync_stall_by_level.iter().sum();
             let share = |i: usize| {
                 if level_total == 0 {
@@ -48,16 +64,16 @@ pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig03Row>> {
                     m.sync_stall_by_level[i] as f64 / level_total as f64
                 }
             };
-            Ok(Fig03Row {
-                workload,
+            Fig03Row {
+                workload: record.workload,
                 bandwidth_utilization: m.dram.bandwidth_utilization(),
                 sync_fraction: m.sync_stall_cycles as f64 / m.cycles.max(1) as f64,
                 sync_share_by_level: [share(0), share(1), share(2)],
                 row_hit_rate: m.dram.row_hit_rate(),
                 avg_queue_occupancy: m.dram.avg_queue_occupancy(),
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the rows as a text table.
@@ -77,7 +93,7 @@ pub fn table(rows: &[Fig03Row]) -> Table {
     );
     for r in rows {
         t.row(&[
-            r.workload.name().to_string(),
+            r.workload.to_string(),
             percent(r.bandwidth_utilization),
             percent(r.sync_fraction),
             percent(r.sync_share_by_level[SubOram::Data.index()]),

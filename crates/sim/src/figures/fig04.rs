@@ -5,7 +5,7 @@
 //! the forced same-leaf mapping inflates the dummy-request ratio and caps
 //! the achievable speedup (≈3.2× for LAORAM at pf=4).
 
-use crate::runner::{run_with_configs, RunMetrics};
+use crate::experiment::{CustomProtocol, Executor, Experiment, RunSpec, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::{percent, speedup, Table};
@@ -28,11 +28,12 @@ pub struct Fig04Row {
     pub stash_high_water: usize,
 }
 
-fn run_point(
-    config: &SystemConfig,
-    prefetch_length: u32,
-    fat_tree: bool,
-) -> OramResult<RunMetrics> {
+fn point_label(prefetch_length: u32, fat_tree: bool) -> String {
+    let variant = if fat_tree { "fat" } else { "slim" };
+    format!("{variant}/pf={prefetch_length}")
+}
+
+fn point_spec(config: &SystemConfig, prefetch_length: u32, fat_tree: bool) -> OramResult<RunSpec> {
     let params = config.hierarchy_params()?;
     // The Fig. 4 experiment models PrORAM with a 1024-entry stash.
     let stash = 1024;
@@ -44,28 +45,65 @@ fn run_point(
         stash,
         stash * 3 / 4,
     )?;
-    run_with_configs(
-        Scheme::PrOram,
-        hierarchy,
-        Scheme::PrOram.controller_config(config.pe_columns),
-        Workload::Streaming,
-        config,
-        prefetch_length,
-    )
+    Ok(RunSpec::new(Scheme::PrOram, Workload::Streaming, *config)
+        .with_custom(CustomProtocol {
+            hierarchy,
+            controller: Scheme::PrOram.controller_config(config.pe_columns),
+            prefetch_length,
+        })
+        .with_label(point_label(prefetch_length, fat_tree)))
 }
 
-/// Runs the Fig. 4 sweep over the given prefetch lengths.
+/// Runs the Fig. 4 sweep serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig, prefetch_lengths: &[u32]) -> OramResult<Vec<Fig04Row>> {
-    let baseline = run_point(config, 1, false)?;
-    let baseline_perf = baseline.accesses_per_cycle().max(f64::MIN_POSITIVE);
+    run_with(config, prefetch_lengths, &SerialExecutor)
+}
+
+/// Runs the Fig. 4 sweep over the given prefetch lengths on the given
+/// executor. All configuration points (both tree shapes, every length,
+/// plus the no-prefetch normalisation baseline) run independently.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(
+    config: &SystemConfig,
+    prefetch_lengths: &[u32],
+    executor: &dyn Executor,
+) -> OramResult<Vec<Fig04Row>> {
+    // The normalisation baseline is the slim-tree pf=1 point; when that
+    // point is already part of the sweep, reuse it instead of simulating
+    // the identical configuration twice.
+    let mut experiment = Experiment::new(*config);
+    let baseline_label = if prefetch_lengths.contains(&1) {
+        point_label(1, false)
+    } else {
+        experiment = experiment.spec(point_spec(config, 1, false)?.with_label("baseline"));
+        "baseline".to_string()
+    };
+    for &fat_tree in &[false, true] {
+        for &pf in prefetch_lengths {
+            experiment = experiment.spec(point_spec(config, pf, fat_tree)?);
+        }
+    }
+    let results = experiment.run(executor)?;
+    let baseline_perf = results
+        .by_label(&baseline_label)
+        .expect("baseline spec always present")
+        .metrics
+        .accesses_per_cycle()
+        .max(f64::MIN_POSITIVE);
     let mut rows = Vec::new();
     for &fat_tree in &[false, true] {
         for &pf in prefetch_lengths {
-            let m = run_point(config, pf, fat_tree)?;
+            let m = &results
+                .by_label(&point_label(pf, fat_tree))
+                .expect("every sweep point was queued")
+                .metrics;
             rows.push(Fig04Row {
                 prefetch_length: pf,
                 fat_tree,

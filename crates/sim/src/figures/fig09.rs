@@ -7,7 +7,7 @@
 //! of zero and near-identical DRAM row-hit / bank-conflict statistics
 //! across workloads.
 
-use crate::runner::run_workload;
+use crate::experiment::{Executor, Experiment, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::mutual_info::estimate_from_samples;
@@ -33,16 +33,29 @@ pub struct Fig09Row {
     pub latency_std: f64,
 }
 
-/// Runs the Fig. 9 experiment.
+/// Runs the Fig. 9 experiment serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig09Row>> {
-    super::DEEP_DIVE_WORKLOADS
+    run_with(config, &SerialExecutor)
+}
+
+/// Runs the Fig. 9 experiment on the given executor.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Vec<Fig09Row>> {
+    let results = Experiment::new(*config)
+        .schemes([Scheme::Palermo])
+        .workloads(super::DEEP_DIVE_WORKLOADS)
+        .run(executor)?;
+    Ok(results
         .iter()
-        .map(|&workload| {
-            let m = run_workload(Scheme::Palermo, workload, config)?;
+        .map(|record| {
+            let m = &record.metrics;
             let samples: Vec<(bool, f64)> = m
                 .behaviour_latency
                 .iter()
@@ -53,16 +66,16 @@ pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig09Row>> {
                 .unwrap_or(0.0);
             let mut latency = Summary::new();
             latency.extend(m.latencies.iter().map(|&l| l as f64));
-            Ok(Fig09Row {
-                workload,
+            Fig09Row {
+                workload: record.workload,
                 row_hit_rate: m.dram.row_hit_rate(),
                 bank_conflict_rate: m.dram.bank_conflict_rate(),
                 mutual_information,
                 mean_latency: latency.mean(),
                 latency_std: latency.std_dev(),
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the rows as a text table.
@@ -80,7 +93,7 @@ pub fn table(rows: &[Fig09Row]) -> Table {
     );
     for r in rows {
         t.row(&[
-            r.workload.name().to_string(),
+            r.workload.to_string(),
             percent(r.row_hit_rate),
             percent(r.bank_conflict_rate),
             format!("{:.4}", r.mutual_information),

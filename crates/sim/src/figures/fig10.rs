@@ -3,7 +3,8 @@
 //! (geo-mean: RingORAM 1.1×, PageORAM 1.2×, PrORAM 1.7×, IR-ORAM 1.1×,
 //! Palermo-SW 1.2×, Palermo 2.4×, Palermo+Prefetch 3.1×).
 
-use crate::runner::{run_workload, RunMetrics};
+use crate::experiment::{Executor, Experiment, SerialExecutor};
+use crate::runner::RunMetrics;
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::{speedup, Table};
@@ -36,47 +37,80 @@ impl Fig10 {
     }
 }
 
-/// Runs the Fig. 10 experiment over the given workloads and schemes.
+/// Runs the Fig. 10 experiment serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig, workloads: &[Workload], schemes: &[Scheme]) -> OramResult<Fig10> {
-    let mut speedups = Vec::new();
-    let mut all_metrics = Vec::new();
-    for &workload in workloads {
-        let baseline = run_workload(Scheme::PathOram, workload, config)?;
-        let baseline_perf = baseline.accesses_per_cycle().max(f64::MIN_POSITIVE);
-        let mut row_speedup = Vec::new();
-        let mut row_metrics = Vec::new();
-        for &scheme in schemes {
-            let m = if scheme == Scheme::PathOram {
-                baseline.clone()
-            } else {
-                run_workload(scheme, workload, config)?
-            };
-            row_speedup.push(m.accesses_per_cycle() / baseline_perf);
-            row_metrics.push(m);
-        }
-        speedups.push(row_speedup);
-        all_metrics.push(row_metrics);
+    run_with(config, workloads, schemes, &SerialExecutor)
+}
+
+/// Runs the Fig. 10 experiment over the given workloads and schemes on the
+/// given executor. The PathORAM normalisation baseline is added to the grid
+/// when it is not among `schemes`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(
+    config: &SystemConfig,
+    workloads: &[Workload],
+    schemes: &[Scheme],
+    executor: &dyn Executor,
+) -> OramResult<Fig10> {
+    let mut grid_schemes = schemes.to_vec();
+    if !grid_schemes.contains(&Scheme::PathOram) {
+        grid_schemes.insert(0, Scheme::PathOram);
     }
+    let results = Experiment::new(*config)
+        .schemes(grid_schemes)
+        .workloads(workloads.iter().copied())
+        .run(executor)?;
+    let speedup = results.speedup_matrix(Scheme::PathOram, workloads, schemes);
+    // Move each record's metrics into its matrix cell rather than cloning
+    // the per-request vectors (records not in `schemes` — the implicitly
+    // added baseline — are dropped here).
+    let mut cells: Vec<Vec<Option<RunMetrics>>> = workloads
+        .iter()
+        .map(|_| vec![None; schemes.len()])
+        .collect();
+    for record in results.into_records() {
+        let target = (0..workloads.len())
+            .flat_map(|r| (0..schemes.len()).map(move |c| (r, c)))
+            .find(|&(r, c)| {
+                workloads[r] == record.workload
+                    && schemes[c] == record.scheme
+                    && cells[r][c].is_none()
+            });
+        if let Some((r, c)) = target {
+            cells[r][c] = Some(record.metrics);
+        }
+    }
+    let metrics = cells
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|m| m.expect("every grid cell was executed"))
+                .collect()
+        })
+        .collect();
     Ok(Fig10 {
         workloads: workloads.to_vec(),
         schemes: schemes.to_vec(),
-        speedup: speedups,
-        metrics: all_metrics,
+        speedup,
+        metrics,
     })
 }
 
 /// Renders the speedup matrix (plus the geo-mean row) as a text table.
 pub fn table(fig: &Fig10) -> Table {
-    let mut header: Vec<&str> = vec!["workload"];
-    let names: Vec<&'static str> = fig.schemes.iter().map(|s| s.name()).collect();
-    header.extend(names.iter().copied());
-    let mut t = Table::new("Fig. 10 — end-to-end speedup over PathORAM", &header);
+    let mut header = vec!["workload".to_string()];
+    header.extend(fig.schemes.iter().map(Scheme::to_string));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new("Fig. 10 — end-to-end speedup over PathORAM", &header_refs);
     for (w, row) in fig.workloads.iter().zip(&fig.speedup) {
-        let mut cells = vec![w.name().to_string()];
+        let mut cells = vec![w.to_string()];
         cells.extend(row.iter().map(|&v| speedup(v)));
         t.row(&cells);
     }

@@ -2,7 +2,7 @@
 //! RingORAM vs Palermo (both without prefetch). The paper reports ≈2.8×
 //! more outstanding requests and ≈2.2× higher utilisation for Palermo.
 
-use crate::runner::run_workload;
+use crate::experiment::{Executor, Experiment, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::{percent, Table};
@@ -44,26 +44,45 @@ impl Fig11Row {
     }
 }
 
-/// Runs the Fig. 11 experiment.
+/// Runs the Fig. 11 experiment serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig11Row>> {
-    super::DEEP_DIVE_WORKLOADS
-        .iter()
-        .map(|&workload| {
-            let ring = run_workload(Scheme::RingOram, workload, config)?;
-            let palermo = run_workload(Scheme::Palermo, workload, config)?;
-            Ok(Fig11Row {
+    run_with(config, &SerialExecutor)
+}
+
+/// Runs the Fig. 11 experiment on the given executor.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Vec<Fig11Row>> {
+    let results = Experiment::new(*config)
+        .schemes([Scheme::RingOram, Scheme::Palermo])
+        .workloads(super::DEEP_DIVE_WORKLOADS)
+        .run(executor)?;
+    Ok(super::DEEP_DIVE_WORKLOADS
+        .into_iter()
+        .map(|workload| {
+            let cell = |scheme| {
+                &results
+                    .get(scheme, workload)
+                    .expect("every grid cell was executed")
+                    .metrics
+            };
+            let ring = cell(Scheme::RingOram);
+            let palermo = cell(Scheme::Palermo);
+            Fig11Row {
                 workload,
                 ring_utilization: ring.dram.bandwidth_utilization(),
                 palermo_utilization: palermo.dram.bandwidth_utilization(),
                 ring_outstanding: ring.dram.avg_queue_occupancy(),
                 palermo_outstanding: palermo.dram.avg_queue_occupancy(),
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the rows as a text table.
@@ -82,7 +101,7 @@ pub fn table(rows: &[Fig11Row]) -> Table {
     );
     for r in rows {
         t.row(&[
-            r.workload.name().to_string(),
+            r.workload.to_string(),
             percent(r.ring_utilization),
             percent(r.palermo_utilization),
             format!("{:.2}x", r.utilization_gain()),

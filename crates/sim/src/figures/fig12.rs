@@ -4,7 +4,7 @@
 //! data stash bounded well below the 256-entry hardware capacity (the paper
 //! observes maxima of 228–237 across the deep-dive workloads).
 
-use crate::runner::run_workload;
+use crate::experiment::{Executor, Experiment, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::Table;
@@ -24,24 +24,34 @@ pub struct Fig12Row {
     pub capacity: usize,
 }
 
-/// Runs the Fig. 12 experiment.
+/// Runs the Fig. 12 experiment serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig12Row>> {
-    super::DEEP_DIVE_WORKLOADS
+    run_with(config, &SerialExecutor)
+}
+
+/// Runs the Fig. 12 experiment on the given executor.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Vec<Fig12Row>> {
+    let results = Experiment::new(*config)
+        .schemes([Scheme::Palermo])
+        .workloads(super::DEEP_DIVE_WORKLOADS)
+        .run(executor)?;
+    Ok(results
         .iter()
-        .map(|&workload| {
-            let m = run_workload(Scheme::Palermo, workload, config)?;
-            Ok(Fig12Row {
-                workload,
-                samples: m.stash_samples.clone(),
-                high_water: m.stash_high_water,
-                capacity: config.stash_capacity,
-            })
+        .map(|record| Fig12Row {
+            workload: record.workload,
+            samples: record.metrics.stash_samples.clone(),
+            high_water: record.metrics.stash_high_water,
+            capacity: config.stash_capacity,
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the high-water summary as a text table.
@@ -52,7 +62,7 @@ pub fn table(rows: &[Fig12Row]) -> Table {
     );
     for r in rows {
         t.row(&[
-            r.workload.name().to_string(),
+            r.workload.to_string(),
             format!("{}", r.high_water),
             format!("{}", r.capacity),
             if r.high_water <= r.capacity {

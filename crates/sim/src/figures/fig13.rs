@@ -6,7 +6,7 @@
 //! PathORAM — unlike PrORAM, the scheme is not critically dependent on
 //! choosing the best length.
 
-use crate::runner::run_workload;
+use crate::experiment::{Executor, Experiment, RunSpec, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::{speedup, Table};
@@ -23,32 +23,69 @@ pub struct Fig13Row {
     pub points: Vec<(u32, f64)>,
 }
 
-/// Runs the Fig. 13 sweep.
+/// Runs the Fig. 13 sweep serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run(config: &SystemConfig, prefetch_lengths: &[u32]) -> OramResult<Vec<Fig13Row>> {
-    super::DEEP_DIVE_WORKLOADS
-        .iter()
-        .map(|&workload| {
-            let baseline = run_workload(Scheme::PathOram, workload, config)?;
-            let baseline_perf = baseline.accesses_per_cycle().max(f64::MIN_POSITIVE);
-            let mut points = Vec::new();
-            for &pf in prefetch_lengths {
-                let mut cfg = *config;
-                cfg.prefetch_override = Some(pf);
-                let scheme = if pf <= 1 {
-                    Scheme::Palermo
-                } else {
-                    Scheme::PalermoPrefetch
-                };
-                let m = run_workload(scheme, workload, &cfg)?;
-                points.push((pf, m.accesses_per_cycle() / baseline_perf));
-            }
-            Ok(Fig13Row { workload, points })
+    run_with(config, prefetch_lengths, &SerialExecutor)
+}
+
+/// Runs the Fig. 13 sweep on the given executor. Every (workload, length)
+/// point — and each workload's PathORAM baseline — is an independent run.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_with(
+    config: &SystemConfig,
+    prefetch_lengths: &[u32],
+    executor: &dyn Executor,
+) -> OramResult<Vec<Fig13Row>> {
+    let mut experiment = Experiment::new(*config);
+    for &workload in &super::DEEP_DIVE_WORKLOADS {
+        experiment = experiment.spec(
+            RunSpec::new(Scheme::PathOram, workload, *config)
+                .with_label(format!("base/{workload}")),
+        );
+        for &pf in prefetch_lengths {
+            let mut cfg = *config;
+            cfg.prefetch_override = Some(pf);
+            // Length 1 is the no-prefetch Palermo configuration.
+            let scheme = if pf <= 1 {
+                Scheme::Palermo
+            } else {
+                Scheme::PalermoPrefetch
+            };
+            experiment = experiment.spec(
+                RunSpec::new(scheme, workload, cfg).with_label(format!("{workload}/pf={pf}")),
+            );
+        }
+    }
+    let results = experiment.run(executor)?;
+    Ok(super::DEEP_DIVE_WORKLOADS
+        .into_iter()
+        .map(|workload| {
+            let baseline_perf = results
+                .by_label(&format!("base/{workload}"))
+                .expect("baseline run was queued")
+                .metrics
+                .accesses_per_cycle()
+                .max(f64::MIN_POSITIVE);
+            let points = prefetch_lengths
+                .iter()
+                .map(|&pf| {
+                    let m = &results
+                        .by_label(&format!("{workload}/pf={pf}"))
+                        .expect("every sweep point was queued")
+                        .metrics;
+                    (pf, m.accesses_per_cycle() / baseline_perf)
+                })
+                .collect();
+            Fig13Row { workload, points }
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the rows as a text table.
@@ -63,7 +100,7 @@ pub fn table(rows: &[Fig13Row]) -> Table {
         &header_refs,
     );
     for r in rows {
-        let mut cells = vec![r.workload.name().to_string()];
+        let mut cells = vec![r.workload.to_string()];
         cells.extend(r.points.iter().map(|&(_, s)| speedup(s)));
         t.row(&cells);
     }

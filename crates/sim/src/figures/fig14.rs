@@ -5,7 +5,7 @@
 //! requests, and more PE columns remove structural hazards until the memory
 //! bandwidth saturates (the paper sees ≈2.2× from 3×1 to 3×8).
 
-use crate::runner::run_workload;
+use crate::experiment::{Executor, Experiment, SerialExecutor};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::report::Table;
@@ -50,28 +50,54 @@ pub fn zsa_for(z: u16) -> (u16, u32) {
     }
 }
 
-/// Runs the Fig. 14a Z sweep.
+/// Runs the Fig. 14a Z sweep serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run_z_sweep(config: &SystemConfig, zs: &[u16]) -> OramResult<Vec<ZSweepPoint>> {
-    let mut points = Vec::new();
+    run_z_sweep_with(config, zs, &SerialExecutor)
+}
+
+/// Runs the Fig. 14a Z sweep on the given executor.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_z_sweep_with(
+    config: &SystemConfig,
+    zs: &[u16],
+    executor: &dyn Executor,
+) -> OramResult<Vec<ZSweepPoint>> {
+    let mut experiment = Experiment::new(*config)
+        .schemes([Scheme::Palermo])
+        .workloads([Workload::Random]);
     for &z in zs {
         let (s, a) = zsa_for(z);
-        let mut cfg = *config;
-        cfg.z = z;
-        cfg.s = s;
-        cfg.a = a;
-        let m = run_workload(Scheme::Palermo, Workload::Random, &cfg)?;
-        points.push(ZSweepPoint {
-            z,
-            s,
-            a,
-            throughput: m.requests_per_cycle() * 1000.0,
-            speedup_vs_smallest: 0.0,
+        experiment = experiment.sweep_config(format!("Z={z}"), move |cfg| {
+            cfg.z = z;
+            cfg.s = s;
+            cfg.a = a;
         });
     }
+    let results = experiment.run(executor)?;
+    // One record per variant, in sweep order (the grid is 1 scheme x
+    // 1 workload, and config variants are the outermost grid dimension).
+    debug_assert_eq!(results.len(), zs.len());
+    let mut points: Vec<ZSweepPoint> = zs
+        .iter()
+        .zip(results.iter())
+        .map(|(&z, record)| {
+            let (s, a) = zsa_for(z);
+            ZSweepPoint {
+                z,
+                s,
+                a,
+                throughput: record.metrics.requests_per_cycle() * 1000.0,
+                speedup_vs_smallest: 0.0,
+            }
+        })
+        .collect();
     let base = points
         .first()
         .map(|p| p.throughput)
@@ -83,23 +109,44 @@ pub fn run_z_sweep(config: &SystemConfig, zs: &[u16]) -> OramResult<Vec<ZSweepPo
     Ok(points)
 }
 
-/// Runs the Fig. 14b PE-column sweep.
+/// Runs the Fig. 14b PE-column sweep serially.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run_pe_sweep(config: &SystemConfig, columns: &[usize]) -> OramResult<Vec<PeSweepPoint>> {
-    let mut points = Vec::new();
+    run_pe_sweep_with(config, columns, &SerialExecutor)
+}
+
+/// Runs the Fig. 14b PE-column sweep on the given executor.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the protocol layer.
+pub fn run_pe_sweep_with(
+    config: &SystemConfig,
+    columns: &[usize],
+    executor: &dyn Executor,
+) -> OramResult<Vec<PeSweepPoint>> {
+    let mut experiment = Experiment::new(*config)
+        .schemes([Scheme::Palermo])
+        .workloads([Workload::Random]);
     for &c in columns {
-        let mut cfg = *config;
-        cfg.pe_columns = c.max(1);
-        let m = run_workload(Scheme::Palermo, Workload::Random, &cfg)?;
-        points.push(PeSweepPoint {
-            columns: c,
-            throughput: m.requests_per_cycle() * 1000.0,
-            speedup_vs_one: 0.0,
+        experiment = experiment.sweep_config(format!("pe={c}"), move |cfg| {
+            cfg.pe_columns = c.max(1);
         });
     }
+    let results = experiment.run(executor)?;
+    debug_assert_eq!(results.len(), columns.len());
+    let mut points: Vec<PeSweepPoint> = columns
+        .iter()
+        .zip(results.iter())
+        .map(|(&c, record)| PeSweepPoint {
+            columns: c,
+            throughput: record.metrics.requests_per_cycle() * 1000.0,
+            speedup_vs_one: 0.0,
+        })
+        .collect();
     let base = points
         .first()
         .map(|p| p.throughput)

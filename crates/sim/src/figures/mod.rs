@@ -3,8 +3,12 @@
 //! Every module exposes a `run` function returning structured rows and a
 //! `table` function rendering them in the layout the paper uses, so the
 //! examples (`cargo run --example fig10`) and the Criterion benches share
-//! the same code path. `EXPERIMENTS.md` records the paper-reported values
-//! next to the values these runners produce.
+//! the same code path. Each runner builds its grid through
+//! [`crate::experiment::Experiment`] and also offers a `run_with` variant
+//! taking any [`crate::experiment::Executor`] (the examples pass a
+//! [`crate::experiment::ThreadPoolExecutor`] to fan the independent runs
+//! across cores). `EXPERIMENTS.md` records the paper-reported values next
+//! to the values these runners produce.
 
 pub mod fig03;
 pub mod fig04;

@@ -9,11 +9,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod experiment;
 pub mod figures;
 pub mod runner;
 pub mod schemes;
 pub mod system;
 
+pub use experiment::{
+    Executor, Experiment, ResultSet, RunRecord, RunSpec, SerialExecutor, ThreadPoolExecutor,
+};
 pub use runner::{run_workload, RunMetrics};
 pub use schemes::Scheme;
 pub use system::SystemConfig;

@@ -6,17 +6,20 @@
 //! issues the request's DRAM traffic subject to the scheme's scheduling
 //! policy, and the DRAM model services it cycle by cycle. Metrics are
 //! collected over the post-warm-up window only.
+//!
+//! Anything bigger than one run — grids, sweeps, parallel execution —
+//! belongs to the typed [`crate::experiment`] surface built on top of
+//! this module.
 
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_controller::OramController;
 use palermo_dram::{DramStats, DramSystem};
 use palermo_oram::crypto::Payload;
-use palermo_oram::error::OramResult;
+use palermo_oram::error::{OramError, OramResult};
 use palermo_oram::hierarchy::HierarchicalOram;
 use palermo_oram::types::{OramOp, PhysAddr};
 use palermo_workloads::{Llc, Workload};
-use std::collections::HashMap;
 
 /// Controller clock frequency in Hz (Table III: 1.6 GHz, shared with the
 /// DRAM command clock).
@@ -107,6 +110,30 @@ impl RunMetrics {
     }
 }
 
+/// Bookkeeping for the requests currently in flight, keyed by request id.
+///
+/// The number of outstanding requests is bounded by the PE-column count
+/// plus the one staged plan, so a linear scan over a tiny vector beats
+/// hashing on the simulation hot path (every completed request used to pay
+/// a `HashMap` insert + remove).
+#[derive(Debug, Default)]
+struct InFlightTable {
+    /// `(request id, was previously written, is dummy)` per live request.
+    entries: Vec<(u64, bool, bool)>,
+}
+
+impl InFlightTable {
+    fn insert(&mut self, request_id: u64, found: bool, is_dummy: bool) {
+        self.entries.push((request_id, found, is_dummy));
+    }
+
+    fn remove(&mut self, request_id: u64) -> Option<(bool, bool)> {
+        let pos = self.entries.iter().position(|e| e.0 == request_id)?;
+        let (_, found, is_dummy) = self.entries.swap_remove(pos);
+        Some((found, is_dummy))
+    }
+}
+
 fn dram_delta(end: &DramStats, start: &DramStats) -> DramStats {
     DramStats {
         cycles: end.cycles - start.cycles,
@@ -186,8 +213,7 @@ pub fn run_with_configs(
     let total_requests = config.total_requests();
     let warmup = config.warmup_requests;
 
-    // Per-request bookkeeping: request id -> (was previously written, is dummy).
-    let mut request_info: HashMap<u64, (bool, bool)> = HashMap::new();
+    let mut in_flight = InFlightTable::default();
 
     let mut submitted: u64 = 0;
     let mut finished_real: u64 = 0;
@@ -223,35 +249,37 @@ pub fn run_with_configs(
         if pending_plan.is_none() && submitted < total_requests + config.measured_requests {
             if oram.needs_background_evict() {
                 let result = oram.background_evict();
-                request_info.insert(result.plan.request_id, (false, true));
+                in_flight.insert(result.plan.request_id, false, true);
                 pending_plan = Some(result.plan);
             } else if submitted < total_requests {
                 // Pull workload accesses through the LLC until one misses.
-                let mut guard = 0u32;
-                let miss = loop {
+                // An all-hits workload cannot form an ORAM request, so it
+                // would wedge this loop forever; fail loudly instead.
+                let mut guard = 0u64;
+                let (pa, op) = loop {
                     let entry = stream.next_access();
                     if measuring {
                         metrics.workload_accesses += 1;
                     }
                     let pa = PhysAddr::new(entry.addr.0 % (protected_lines * 64));
                     if !llc.access(pa) {
-                        break Some((pa, entry.op));
+                        break (pa, entry.op);
                     }
                     guard += 1;
                     if guard > 1_000_000 {
-                        break None;
+                        return Err(OramError::WorkloadStalled {
+                            accesses_scanned: guard,
+                        });
                     }
                 };
-                if let Some((pa, op)) = miss {
-                    let payload = (op == OramOp::Write).then(|| Payload::from_u64(pa.0));
-                    let result = oram.access(pa, op, payload)?;
-                    for line in &result.prefetched {
-                        llc.fill_line(line.0);
-                    }
-                    request_info.insert(result.plan.request_id, (result.found, false));
-                    pending_plan = Some(result.plan);
-                    submitted += 1;
+                let payload = (op == OramOp::Write).then(|| Payload::from_u64(pa.0));
+                let result = oram.access(pa, op, payload)?;
+                for line in &result.prefetched {
+                    llc.fill_line(line.0);
                 }
+                in_flight.insert(result.plan.request_id, result.found, false);
+                pending_plan = Some(result.plan);
+                submitted += 1;
             }
         }
 
@@ -266,8 +294,8 @@ pub fn run_with_configs(
         dram.tick();
 
         for finished in controller.drain_finished() {
-            let (found, is_dummy) = request_info
-                .remove(&finished.request_id)
+            let (found, is_dummy) = in_flight
+                .remove(finished.request_id)
                 .unwrap_or((false, finished.is_dummy));
             if !is_dummy {
                 finished_real += 1;
@@ -318,10 +346,29 @@ pub fn run_with_configs(
 ///
 /// Propagates the first configuration error encountered.
 pub fn run_all_workloads(scheme: Scheme, config: &SystemConfig) -> OramResult<Vec<RunMetrics>> {
-    Workload::ALL
+    run_all_workloads_with(scheme, config, &crate::experiment::SerialExecutor)
+}
+
+/// Runs every workload of Table II under one scheme on the given executor,
+/// returning the metrics in [`Workload::ALL`] order.
+///
+/// # Errors
+///
+/// Propagates the first (in grid order) error encountered.
+pub fn run_all_workloads_with(
+    scheme: Scheme,
+    config: &SystemConfig,
+    executor: &dyn crate::experiment::Executor,
+) -> OramResult<Vec<RunMetrics>> {
+    let results = crate::experiment::Experiment::new(*config)
+        .schemes([scheme])
+        .workloads(Workload::ALL)
+        .run(executor)?;
+    Ok(results
+        .into_records()
         .into_iter()
-        .map(|w| run_workload(scheme, w, config))
-        .collect()
+        .map(|r| r.metrics)
+        .collect())
 }
 
 #[cfg(test)]
@@ -397,6 +444,36 @@ mod tests {
         // must eventually trigger background evictions.
         assert!(m.dummy_fraction() >= 0.0); // counted (may be 0 for tiny runs)
         assert_eq!(m.oram_requests, 40);
+    }
+
+    #[test]
+    fn all_hit_workload_returns_typed_stall_error() {
+        // The whole streaming footprint fits in the LLC, so after the first
+        // pass every access hits and no further ORAM request can be formed.
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.workload_footprint = 1 << 20;
+        cfg.llc.capacity_bytes = 4 << 20;
+        cfg.prefetch_override = Some(8);
+        cfg.measured_requests = 2300; // more requests than the LLC can miss
+        cfg.warmup_requests = 0;
+        let err = run_workload(Scheme::PalermoPrefetch, Workload::Streaming, &cfg).unwrap_err();
+        assert!(
+            matches!(err, OramError::WorkloadStalled { accesses_scanned } if accesses_scanned > 1_000_000),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn in_flight_table_handles_out_of_order_completion() {
+        let mut table = InFlightTable::default();
+        table.insert(1, true, false);
+        table.insert(2, false, true);
+        table.insert(3, false, false);
+        assert_eq!(table.remove(2), Some((false, true)));
+        assert_eq!(table.remove(2), None);
+        assert_eq!(table.remove(1), Some((true, false)));
+        assert_eq!(table.remove(3), Some((false, false)));
+        assert_eq!(table.remove(4), None);
     }
 
     #[test]

@@ -54,6 +54,11 @@ impl Scheme {
         }
     }
 
+    /// Parses a figure-style scheme name (the inverse of [`Scheme::name`]).
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// Returns `true` for the schemes that prefetch multiple cache lines per
     /// ORAM access.
     pub fn uses_prefetch(self) -> bool {
@@ -193,10 +198,13 @@ mod tests {
     }
 
     #[test]
-    fn names_are_unique() {
+    fn names_are_unique_and_round_trip() {
         let mut names = std::collections::HashSet::new();
         for s in Scheme::ALL {
             assert!(names.insert(s.name()));
+            assert_eq!(Scheme::from_name(s.name()), Some(s));
+            assert_eq!(s.to_string(), s.name());
         }
+        assert_eq!(Scheme::from_name("nope"), None);
     }
 }

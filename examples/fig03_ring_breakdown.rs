@@ -6,6 +6,7 @@
 //! PALERMO_REQUESTS=2000 cargo run --release --example fig03_ring_breakdown
 //! ```
 
+use palermo::sim::experiment::ThreadPoolExecutor;
 use palermo::sim::figures::fig03;
 use palermo::sim::system::SystemConfig;
 
@@ -26,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "simulating RingORAM on 5 workloads, {} measured requests each ...",
         cfg.measured_requests
     );
-    let rows = fig03::run(&cfg)?;
+    let rows = fig03::run_with(&cfg, &ThreadPoolExecutor::with_available_parallelism())?;
     println!("{}", fig03::table(&rows).to_text());
     let avg_sync: f64 = rows.iter().map(|r| r.sync_fraction).sum::<f64>() / rows.len() as f64;
     let avg_util: f64 =

@@ -5,6 +5,7 @@
 //! cargo run --release --example fig04_prefetch_baselines
 //! ```
 
+use palermo::sim::experiment::ThreadPoolExecutor;
 use palermo::sim::figures::fig04;
 use palermo::sim::system::SystemConfig;
 
@@ -17,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.warmup_requests = n / 4;
     }
     eprintln!("sweeping prefetch lengths on `stm` for PrORAM and PrORAM w/ Fat Tree ...");
-    let rows = fig04::run(&cfg, &[1, 2, 4, 8, 16])?;
+    let rows = fig04::run_with(
+        &cfg,
+        &[1, 2, 4, 8, 16],
+        &ThreadPoolExecutor::with_available_parallelism(),
+    )?;
     println!("{}", fig04::table(&rows).to_text());
     println!("Expected shape (paper): the dummy-request ratio climbs with the prefetch");
     println!("length and caps the speedup despite perfect locality; the fat tree");

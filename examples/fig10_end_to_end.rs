@@ -8,6 +8,7 @@
 //! cargo run --release --example fig10_end_to_end
 //! ```
 
+use palermo::sim::experiment::ThreadPoolExecutor;
 use palermo::sim::figures::fig10;
 use palermo::sim::schemes::Scheme;
 use palermo::sim::system::SystemConfig;
@@ -21,13 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.measured_requests = n;
         cfg.warmup_requests = n / 4;
     }
+    let pool = ThreadPoolExecutor::with_available_parallelism();
     eprintln!(
-        "running {} workloads x {} schemes, {} measured requests each (this is the long one) ...",
+        "running {} workloads x {} schemes, {} measured requests each, on {} thread(s) ...",
         Workload::ALL.len(),
         Scheme::ALL.len(),
-        cfg.measured_requests
+        cfg.measured_requests,
+        pool.threads()
     );
-    let fig = fig10::run(&cfg, &Workload::ALL, &Scheme::ALL)?;
+    let fig = fig10::run_with(&cfg, &Workload::ALL, &Scheme::ALL, &pool)?;
     println!("{}", fig10::table(&fig).to_text());
     println!(
         "geo-mean speedups:  RingORAM {:.2}x | PrORAM {:.2}x | Palermo-SW {:.2}x | Palermo {:.2}x | Palermo+Prefetch {:.2}x",

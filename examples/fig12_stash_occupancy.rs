@@ -5,6 +5,7 @@
 //! cargo run --release --example fig12_stash_occupancy
 //! ```
 
+use palermo::sim::experiment::ThreadPoolExecutor;
 use palermo::sim::figures::fig12;
 use palermo::sim::system::SystemConfig;
 
@@ -17,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.warmup_requests = n / 4;
     }
     eprintln!("sampling Palermo stash occupancy on mcf / pr / llm / redis ...");
-    let rows = fig12::run(&cfg)?;
+    let rows = fig12::run_with(&cfg, &ThreadPoolExecutor::with_available_parallelism())?;
     println!("{}", fig12::table(&rows).to_text());
     for row in &rows {
         let series: Vec<String> = row
@@ -26,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .step_by((row.samples.len() / 10).max(1))
             .map(|(p, occ)| format!("{:3.0}%:{occ:>3}", p * 100.0))
             .collect();
-        println!("{:>7}  {}", row.workload.name(), series.join("  "));
+        println!("{:>7}  {}", row.workload, series.join("  "));
     }
     println!("\n(paper: maxima of 228-237 against the 256-entry capacity)");
     Ok(())

@@ -5,6 +5,7 @@
 //! cargo run --release --example fig13_prefetch_sensitivity
 //! ```
 
+use palermo::sim::experiment::ThreadPoolExecutor;
 use palermo::sim::figures::fig13;
 use palermo::sim::system::SystemConfig;
 
@@ -17,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.warmup_requests = n / 4;
     }
     eprintln!("sweeping Palermo prefetch lengths on mcf / pr / llm / redis ...");
-    let rows = fig13::run(&cfg, &[1, 2, 4, 8])?;
+    let rows = fig13::run_with(
+        &cfg,
+        &[1, 2, 4, 8],
+        &ThreadPoolExecutor::with_available_parallelism(),
+    )?;
     println!("{}", fig13::table(&rows).to_text());
     println!("Expected shape (paper): performance changes only moderately with the");
     println!("prefetch length and stays above PathORAM throughout — Palermo is not");

@@ -13,7 +13,7 @@
 //! ```
 
 use palermo::analysis::report::Table;
-use palermo::sim::runner::run_workload;
+use palermo::sim::experiment::{Experiment, ThreadPoolExecutor};
 use palermo::sim::schemes::Scheme;
 use palermo::sim::system::SystemConfig;
 use palermo::workloads::Workload;
@@ -30,8 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scheme::PalermoPrefetch,
     ];
 
-    let baseline = run_workload(Scheme::PathOram, Workload::Redis, &cfg)?;
-    let baseline_perf = baseline.accesses_per_cycle();
+    println!("running {} designs on `redis` traffic ...", schemes.len());
+    let results = Experiment::new(cfg)
+        .schemes(schemes)
+        .workloads([Workload::Redis])
+        .run(&ThreadPoolExecutor::with_available_parallelism())?;
+    let baseline_perf = results
+        .get(Scheme::PathOram, Workload::Redis)
+        .expect("baseline run present")
+        .metrics
+        .accesses_per_cycle();
 
     let mut table = Table::new(
         "Oblivious KV store: Zipfian `redis` traffic",
@@ -45,15 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
-    for scheme in schemes {
-        println!("running {scheme} ...");
-        let m = if scheme == Scheme::PathOram {
-            baseline.clone()
-        } else {
-            run_workload(scheme, Workload::Redis, &cfg)?
-        };
+    for record in &results {
+        let m = &record.metrics;
         table.row(&[
-            scheme.name().to_string(),
+            record.scheme.to_string(),
             format!("{:.2}x", m.accesses_per_cycle() / baseline_perf),
             format!("{:.2e}", m.requests_per_second()),
             format!("{:.1}%", m.dummy_fraction() * 100.0),

@@ -9,7 +9,7 @@ use palermo::oram::crypto::Payload;
 use palermo::oram::hierarchy::{HierarchicalOram, HierarchyConfig, ProtocolFlavor};
 use palermo::oram::params::{HierarchyParams, OramParams};
 use palermo::oram::types::{OramOp, PhysAddr};
-use palermo::sim::runner::run_workload;
+use palermo::sim::experiment::{Experiment, ThreadPoolExecutor};
 use palermo::sim::schemes::Scheme;
 use palermo::sim::system::SystemConfig;
 use palermo::workloads::Workload;
@@ -58,10 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.measured_requests = 300;
     sys.warmup_requests = 75;
 
-    println!("\nrunning RingORAM baseline on the `random` workload ...");
-    let ring = run_workload(Scheme::RingOram, Workload::Random, &sys)?;
-    println!("running Palermo on the `random` workload ...");
-    let palermo = run_workload(Scheme::Palermo, Workload::Random, &sys)?;
+    println!("\nrunning the RingORAM baseline and Palermo on the `random` workload ...");
+    let results = Experiment::new(sys)
+        .schemes([Scheme::RingOram, Scheme::Palermo])
+        .workloads([Workload::Random])
+        .run(&ThreadPoolExecutor::with_available_parallelism())?;
+    let metrics = |scheme| {
+        results
+            .get(scheme, Workload::Random)
+            .expect("run present")
+            .metrics
+            .clone()
+    };
+    let ring = metrics(Scheme::RingOram);
+    let palermo = metrics(Scheme::Palermo);
 
     println!("\n                         RingORAM      Palermo");
     println!(

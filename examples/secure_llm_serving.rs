@@ -14,7 +14,7 @@
 
 use palermo::analysis::mutual_info::estimate_from_samples;
 use palermo::analysis::Summary;
-use palermo::sim::runner::run_workload;
+use palermo::sim::experiment::{Experiment, ThreadPoolExecutor};
 use palermo::sim::schemes::Scheme;
 use palermo::sim::system::SystemConfig;
 use palermo::workloads::Workload;
@@ -24,10 +24,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.measured_requests = 400;
     cfg.warmup_requests = 100;
 
-    println!("serving GPT-2-style token-table traffic through Palermo ...");
-    let palermo = run_workload(Scheme::Palermo, Workload::Llm, &cfg)?;
-    println!("serving the same traffic through the RingORAM baseline ...");
-    let ring = run_workload(Scheme::RingOram, Workload::Llm, &cfg)?;
+    println!("serving GPT-2-style token-table traffic through Palermo and RingORAM ...");
+    let results = Experiment::new(cfg)
+        .schemes([Scheme::Palermo, Scheme::RingOram])
+        .workloads([Workload::Llm])
+        .run(&ThreadPoolExecutor::with_available_parallelism())?;
+    let metrics = |scheme| {
+        results
+            .get(scheme, Workload::Llm)
+            .expect("run present")
+            .metrics
+            .clone()
+    };
+    let palermo = metrics(Scheme::Palermo);
+    let ring = metrics(Scheme::RingOram);
 
     let mut latency = Summary::new();
     latency.extend(palermo.latencies.iter().map(|&l| l as f64));

@@ -36,7 +36,7 @@ fn main() {
             llc.access(PhysAddr::new(e.addr.0));
         }
         table.row(&[
-            workload.name().to_string(),
+            workload.to_string(),
             format!("{} MiB", stream.footprint_bytes() >> 20),
             format!("{:.1}", p.write_fraction * 100.0),
             format!("{:.1}", p.sequential_fraction * 100.0),

@@ -18,6 +18,8 @@
 //!
 //! ## Quickstart
 //!
+//! A single run goes through [`sim::runner::run_workload`]:
+//!
 //! ```
 //! use palermo::sim::schemes::Scheme;
 //! use palermo::sim::system::SystemConfig;
@@ -28,6 +30,29 @@
 //! let cfg = SystemConfig::small_for_tests();
 //! let metrics = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
 //! assert!(metrics.oram_requests > 0);
+//! ```
+//!
+//! Grids and sweeps — everything the paper's figures are made of — go
+//! through the typed [`sim::experiment`] surface, which can fan the
+//! independent runs across cores deterministically:
+//!
+//! ```
+//! use palermo::sim::experiment::{Experiment, ThreadPoolExecutor};
+//! use palermo::sim::schemes::Scheme;
+//! use palermo::sim::system::SystemConfig;
+//! use palermo::workloads::workload::Workload;
+//!
+//! let mut cfg = SystemConfig::small_for_tests();
+//! cfg.measured_requests = 20;
+//! cfg.warmup_requests = 5;
+//! let results = Experiment::new(cfg)
+//!     .schemes([Scheme::PathOram, Scheme::Palermo])
+//!     .workloads([Workload::Random])
+//!     .run(&ThreadPoolExecutor::with_available_parallelism())
+//!     .unwrap();
+//! assert!(results
+//!     .speedup_over(Scheme::PathOram, Scheme::Palermo, Workload::Random)
+//!     .unwrap() > 1.0);
 //! ```
 
 #![warn(missing_docs)]
