@@ -16,19 +16,42 @@
 use palermo_sim::system::SystemConfig;
 
 /// The request budget used inside Criterion measurement loops.
+///
+/// The 60/15 split is deliberately **pinned**: it is the budget the recorded
+/// `fig03_ring_baseline` trajectory (43 ms/iter on the seed per-cycle core,
+/// ~12 ms/iter on the event-driven core) is quoted at, so keeping it fixed
+/// makes the number comparable across PRs. The headroom the event-driven
+/// core bought is spent on [`report_config`] instead, which sizes the actual
+/// experiment tables. Set `PALERMO_BENCH_REQUESTS` to override the measured
+/// budget (CI uses a scaled-down value for its quick baseline emission;
+/// larger values give lower-variance local runs).
 pub fn bench_config() -> SystemConfig {
     let mut cfg = SystemConfig::paper_default();
     cfg.measured_requests = 60;
     cfg.warmup_requests = 15;
+    if let Some(measured) = env_requests() {
+        cfg.measured_requests = measured.max(1);
+        cfg.warmup_requests = (measured / 4).max(1);
+    }
     cfg
 }
 
-/// A slightly larger budget used for the one-shot table printed per bench.
+/// The budget used for the one-shot result table printed per bench. Raised
+/// from 150/40 to 400/100 measured/warm-up requests once the event-driven
+/// core (PR 3) made the per-request cost ~4x cheaper: the printed tables now
+/// average over substantially more requests at the same wall-clock cost the
+/// seed spent.
 pub fn report_config() -> SystemConfig {
     let mut cfg = SystemConfig::paper_default();
-    cfg.measured_requests = 150;
-    cfg.warmup_requests = 40;
+    cfg.measured_requests = 400;
+    cfg.warmup_requests = 100;
     cfg
+}
+
+fn env_requests() -> Option<u64> {
+    std::env::var("PALERMO_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 #[cfg(test)]

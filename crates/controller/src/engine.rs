@@ -24,6 +24,31 @@ use palermo_dram::{DramSystem, MemRequest};
 use palermo_oram::access_plan::{AccessPlan, PhaseKind, PlanNodeId};
 use palermo_oram::types::SubOram;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// Multiplicative hasher for the sequential `u64` ids the engine keys its
+/// maps by; the default SipHash costs more than the map operation itself on
+/// the per-DRAM-op hot path.
+#[derive(Debug, Default, Clone, Copy)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdMap<V> = HashMap<u64, V, BuildHasherDefault<IdHasher>>;
 
 /// Inter-request scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,10 +129,17 @@ impl FinishedRequest {
 struct NodeRuntime {
     pending_reads: Vec<u64>,
     pending_writes: Vec<u64>,
+    /// Issue cursors into the pending vectors (issued-so-far counts); a
+    /// cursor walk replaces the `remove(0)` shifting the seed engine did per
+    /// issued operation.
+    reads_issued: usize,
+    writes_issued: usize,
     outstanding_reads: usize,
     compute_remaining: u32,
     all_issued: bool,
     complete: bool,
+    /// Whether this node sits in its request's countdown list.
+    in_countdown: bool,
 }
 
 impl NodeRuntime {
@@ -115,11 +147,25 @@ impl NodeRuntime {
         NodeRuntime {
             pending_reads: reads.to_vec(),
             pending_writes: writes.to_vec(),
+            reads_issued: 0,
+            writes_issued: 0,
             outstanding_reads: 0,
             compute_remaining: compute,
             all_issued: reads.is_empty() && writes.is_empty(),
             complete: reads.is_empty() && writes.is_empty() && compute == 0,
+            in_countdown: false,
         }
+    }
+
+    /// Countdown-eligible: memory traffic fully issued and returned, not yet
+    /// complete (dependency readiness is checked by the caller).
+    fn countdown_shape(&self) -> bool {
+        !self.complete && self.all_issued && self.outstanding_reads == 0
+    }
+
+    fn has_pending_ops(&self) -> bool {
+        self.reads_issued < self.pending_reads.len()
+            || self.writes_issued < self.pending_writes.len()
     }
 }
 
@@ -131,6 +177,16 @@ struct InflightRequest {
     /// Per level: the request id of the previous request that also touches
     /// that level (the west sibling in the PE mesh).
     predecessor: [Option<u64>; SubOram::COUNT],
+    /// Node indices currently in compute countdown, ascending. Kept in sync
+    /// at every state transition so the per-cycle countdown step, the
+    /// next-wakeup prediction and bulk skipping touch only these nodes
+    /// instead of scanning every node of every request each cycle.
+    countdown: Vec<u16>,
+    /// Number of nodes not yet complete (retire check).
+    incomplete: u16,
+    /// Lowest node index that may still have memory operations to issue;
+    /// per-node pending work is monotone, so the drained prefix is skipped.
+    pending_cursor: u16,
 }
 
 impl InflightRequest {
@@ -139,7 +195,30 @@ impl InflightRequest {
     }
 
     fn is_finished(&self) -> bool {
-        self.nodes.iter().all(|n| n.complete)
+        self.incomplete == 0
+    }
+
+    fn deps_done(&self, node_idx: usize) -> bool {
+        self.plan.nodes[node_idx]
+            .deps
+            .iter()
+            .all(|d| self.nodes[d.0 as usize].complete)
+    }
+
+    /// Adds `node_idx` to the countdown list if it is countdown-eligible
+    /// and not already tracked. Plan dependencies always point backwards, so
+    /// the ascending order is preserved by inserting at the partition point.
+    fn track_countdown(&mut self, node_idx: usize) {
+        if !self.nodes[node_idx].countdown_shape()
+            || self.nodes[node_idx].in_countdown
+            || !self.deps_done(node_idx)
+        {
+            return;
+        }
+        let idx16 = node_idx as u16;
+        let pos = self.countdown.partition_point(|&x| x < idx16);
+        self.countdown.insert(pos, idx16);
+        self.nodes[node_idx].in_countdown = true;
     }
 
     fn phase_issued(&self, sub: SubOram, phase: PhaseKind) -> bool {
@@ -178,19 +257,65 @@ impl InflightRequest {
     }
 }
 
+/// What one [`OramController::tick`] observably did.
+///
+/// The event-driven runner only skips cycles after a tick in which nothing
+/// happened: a quiet tick proves the controller state is frozen except for
+/// compute countdowns (predicted by [`OramController::next_wakeup`]) and
+/// DRAM-side events (predicted by the DRAM model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickActivity {
+    /// DRAM read completions routed back to a live plan node (posted-write
+    /// completions carry no controller state and are not counted).
+    pub completions_routed: u64,
+    /// Plan nodes whose `complete` flag flipped this tick.
+    pub nodes_completed: u64,
+    /// DRAM operations issued this tick.
+    pub ops_issued: u64,
+    /// ORAM requests retired this tick.
+    pub requests_retired: u64,
+    /// `true` when the controller provably cannot act on the next cycle
+    /// without an external event: the issue pass drained every ready node
+    /// (it did not stop at the issue-width limit), no request retired, and
+    /// whatever remains pending is dependency-blocked or waiting on DRAM.
+    /// Combined with [`OramController::next_wakeup`] and the DRAM model's
+    /// event prediction this makes the tick skip-eligible even if it was
+    /// active.
+    pub settled: bool,
+}
+
+impl TickActivity {
+    /// `true` if the tick changed any controller state.
+    pub fn any(&self) -> bool {
+        self.completions_routed > 0
+            || self.nodes_completed > 0
+            || self.ops_issued > 0
+            || self.requests_retired > 0
+    }
+}
+
 /// The cycle-level ORAM controller model.
 #[derive(Debug)]
 pub struct OramController {
     config: ControllerConfig,
     inflight: Vec<InflightRequest>,
-    by_request_id: HashMap<u64, usize>,
+    by_request_id: IdMap<usize>,
     /// Most recently submitted request id per level (for sibling chaining).
     last_at_level: [Option<u64>; SubOram::COUNT],
     /// DRAM request id -> (request id, node index).
-    outstanding_dram: HashMap<u64, (u64, u32)>,
+    outstanding_dram: IdMap<(u64, u32)>,
     next_dram_id: u64,
     finished: Vec<FinishedRequest>,
     stats: ControllerStats,
+    /// Reused buffer for draining DRAM completions without per-tick allocs.
+    completion_buf: Vec<palermo_dram::MemCompletion>,
+    /// Whether the last tick saw nodes with pending memory operations
+    /// (the `any_pending` input to the stall-accounting rule).
+    last_any_pending: bool,
+    /// Per-level dependency-blocked flags observed by the last tick.
+    last_blocked_levels: [bool; SubOram::COUNT],
+    /// Whether the last tick had a ready node rejected by a full DRAM queue.
+    enqueue_blocked: bool,
 }
 
 impl OramController {
@@ -199,13 +324,25 @@ impl OramController {
         OramController {
             config,
             inflight: Vec::new(),
-            by_request_id: HashMap::new(),
+            by_request_id: IdMap::default(),
             last_at_level: [None; SubOram::COUNT],
-            outstanding_dram: HashMap::new(),
+            outstanding_dram: IdMap::default(),
             next_dram_id: 0,
             finished: Vec::new(),
             stats: ControllerStats::default(),
+            completion_buf: Vec::new(),
+            last_any_pending: false,
+            last_blocked_levels: [false; SubOram::COUNT],
+            enqueue_blocked: false,
         }
+    }
+
+    /// Whether the last tick had a DRAM operation ready to issue but was
+    /// turned away by a full channel queue. While this holds, a DRAM command
+    /// issue frees queue space the controller may use on the very next
+    /// cycle, so the runner must not skip over it.
+    pub fn enqueue_blocked(&self) -> bool {
+        self.enqueue_blocked
     }
 
     /// The configuration this controller was built with.
@@ -234,7 +371,7 @@ impl OramController {
         if !self.can_accept() {
             return Err(plan);
         }
-        let nodes = plan
+        let nodes: Vec<NodeRuntime> = plan
             .nodes
             .iter()
             .map(|n| NodeRuntime::new(&n.reads, &n.writes, n.compute_cycles))
@@ -249,12 +386,20 @@ impl OramController {
         self.by_request_id
             .insert(plan.request_id, self.inflight.len());
         self.stats.requests_accepted += 1;
-        self.inflight.push(InflightRequest {
+        let incomplete = nodes.iter().filter(|n| !n.complete).count() as u16;
+        let mut req = InflightRequest {
             nodes,
             submitted_at: cycle,
             predecessor,
             plan,
-        });
+            countdown: Vec::new(),
+            incomplete,
+            pending_cursor: 0,
+        };
+        for i in 0..req.nodes.len() {
+            req.track_countdown(i);
+        }
+        self.inflight.push(req);
         Ok(())
     }
 
@@ -316,42 +461,66 @@ impl OramController {
 
     /// Advances the controller by one cycle: consumes DRAM completions,
     /// counts down compute latencies, issues ready memory operations and
-    /// retires finished requests.
-    pub fn tick(&mut self, dram: &mut DramSystem) {
+    /// retires finished requests. The returned [`TickActivity`] tells the
+    /// event-driven runner whether any state changed.
+    pub fn tick(&mut self, dram: &mut DramSystem) -> TickActivity {
         let cycle = dram.cycle();
         self.stats.cycles += 1;
+        let mut activity = TickActivity::default();
 
         // 1. Route DRAM completions back to their plan nodes.
-        for completion in dram.drain_completed() {
+        let mut completions = std::mem::take(&mut self.completion_buf);
+        dram.drain_completed_into(&mut completions);
+        for completion in &completions {
             if let Some((req_id, node_idx)) = self.outstanding_dram.remove(&completion.id.0) {
                 if let Some(&idx) = self.by_request_id.get(&req_id) {
-                    let node = &mut self.inflight[idx].nodes[node_idx as usize];
+                    let req = &mut self.inflight[idx];
+                    let node = &mut req.nodes[node_idx as usize];
                     if !completion.kind.eq(&palermo_dram::MemOpKind::Write) {
                         node.outstanding_reads = node.outstanding_reads.saturating_sub(1);
+                        activity.completions_routed += 1;
+                        if node.outstanding_reads == 0 {
+                            req.track_countdown(node_idx as usize);
+                        }
                     }
                 }
             }
         }
+        completions.clear();
+        self.completion_buf = completions;
 
         // 2. Update node completion states (compute countdown happens once a
         //    node's dependencies are met and its memory traffic is done).
+        //    Only the tracked countdown nodes can change state here. A node
+        //    completing may make later nodes (dependencies always point
+        //    backwards) countdown-eligible within the same cycle, exactly as
+        //    the per-cycle reference's in-order sweep did: `track_countdown`
+        //    inserts them behind the current position, so they are reached
+        //    in this same pass.
         for req in &mut self.inflight {
-            for i in 0..req.nodes.len() {
-                let deps_done = req.plan.nodes[i]
-                    .deps
-                    .iter()
-                    .all(|d| req.nodes[d.0 as usize].complete);
-                let node = &mut req.nodes[i];
-                if node.complete {
+            if req.countdown.is_empty() {
+                continue;
+            }
+            let mut i = 0;
+            while i < req.countdown.len() {
+                let n_idx = req.countdown[i] as usize;
+                let node = &mut req.nodes[n_idx];
+                if node.compute_remaining > 0 {
+                    node.compute_remaining -= 1;
+                }
+                if node.compute_remaining > 0 {
+                    i += 1;
                     continue;
                 }
-                if node.all_issued && node.outstanding_reads == 0 && deps_done {
-                    if node.compute_remaining > 0 {
-                        node.compute_remaining -= 1;
-                    }
-                    if node.compute_remaining == 0 {
-                        node.complete = true;
-                    }
+                node.complete = true;
+                node.in_countdown = false;
+                req.incomplete -= 1;
+                req.countdown.remove(i);
+                activity.nodes_completed += 1;
+                // The completion may satisfy the last dependency of an
+                // otherwise-finished node; start its countdown.
+                for d in (n_idx + 1)..req.nodes.len() {
+                    req.track_countdown(d);
                 }
             }
         }
@@ -360,19 +529,33 @@ impl OramController {
         let mut issued_this_cycle = 0usize;
         let mut blocked_levels = [false; SubOram::COUNT];
         let mut any_pending = false;
+        let mut enqueue_blocked = false;
+        let mut width_limited = false;
+        let mut blocked_any = false;
+        let mut leftover_pending = false;
         for idx in 0..self.inflight.len() {
             if issued_this_cycle >= self.config.issue_width {
+                width_limited = true;
                 break;
             }
-            for node_idx in 0..self.inflight[idx].plan.nodes.len() {
+            // Per-node pending work is monotone, so the drained prefix can
+            // be remembered and skipped.
+            {
+                let req = &mut self.inflight[idx];
+                let mut c = req.pending_cursor as usize;
+                while c < req.nodes.len() && !req.nodes[c].has_pending_ops() {
+                    c += 1;
+                }
+                req.pending_cursor = c as u16;
+            }
+            for node_idx in
+                (self.inflight[idx].pending_cursor as usize)..self.inflight[idx].plan.nodes.len()
+            {
                 if issued_this_cycle >= self.config.issue_width {
+                    width_limited = true;
                     break;
                 }
-                let has_pending = {
-                    let n = &self.inflight[idx].nodes[node_idx];
-                    !n.pending_reads.is_empty() || !n.pending_writes.is_empty()
-                };
-                if !has_pending {
+                if !self.inflight[idx].nodes[node_idx].has_pending_ops() {
                     continue;
                 }
                 any_pending = true;
@@ -380,17 +563,19 @@ impl OramController {
                 let sub = self.inflight[idx].plan.nodes[node_idx].sub;
                 if !ready {
                     blocked_levels[sub.index()] = true;
+                    blocked_any = true;
                     continue;
                 }
                 // Issue as many of this node's operations as the memory
                 // controller will take this cycle.
                 let req = &mut self.inflight[idx];
                 let node = &mut req.nodes[node_idx];
+                let mut rejected = false;
                 while issued_this_cycle < self.config.issue_width {
-                    let (addr, is_write) = if let Some(&a) = node.pending_reads.first() {
-                        (a, false)
-                    } else if let Some(&a) = node.pending_writes.first() {
-                        (a, true)
+                    let (addr, is_write) = if node.reads_issued < node.pending_reads.len() {
+                        (node.pending_reads[node.reads_issued], false)
+                    } else if node.writes_issued < node.pending_writes.len() {
+                        (node.pending_writes[node.writes_issued], true)
                     } else {
                         break;
                     };
@@ -401,24 +586,39 @@ impl OramController {
                         MemRequest::read(dram_id, addr)
                     };
                     if !dram.try_enqueue(mem_req) {
+                        enqueue_blocked = true;
+                        rejected = true;
                         break;
                     }
                     self.next_dram_id += 1;
                     issued_this_cycle += 1;
                     if is_write {
-                        node.pending_writes.remove(0);
+                        node.writes_issued += 1;
                         self.stats.dram_writes_issued += 1;
                     } else {
-                        node.pending_reads.remove(0);
+                        node.reads_issued += 1;
                         node.outstanding_reads += 1;
                         self.stats.dram_reads_issued += 1;
                         self.outstanding_dram
                             .insert(dram_id, (req.plan.request_id, node_idx as u32));
                     }
-                    if node.pending_reads.is_empty() && node.pending_writes.is_empty() {
+                    if !node.has_pending_ops() {
                         node.all_issued = true;
                         break;
                     }
+                }
+                // Ready work left over because the issue width ran out mid-
+                // node (not because DRAM pushed back) means the controller
+                // will issue again next cycle: the tick cannot settle.
+                if req.nodes[node_idx].has_pending_ops() {
+                    leftover_pending = true;
+                    if !rejected {
+                        width_limited = true;
+                    }
+                } else if req.nodes[node_idx].outstanding_reads == 0 {
+                    // A node fully issued with nothing outstanding (posted
+                    // writes only) starts its compute countdown next cycle.
+                    req.track_countdown(node_idx);
                 }
             }
         }
@@ -438,6 +638,12 @@ impl OramController {
             self.stats.issue_cycles += 1;
         }
         self.stats.issued_ops += issued_this_cycle as u64;
+        activity.ops_issued = issued_this_cycle as u64;
+        // Remember the stall-accounting inputs: they stay frozen through any
+        // skipped cycles, so skip_cycles can replay the rule exactly.
+        self.last_any_pending = any_pending;
+        self.last_blocked_levels = blocked_levels;
+        self.enqueue_blocked = enqueue_blocked;
 
         // 5. Retire finished requests.
         let mut idx = 0;
@@ -446,6 +652,7 @@ impl OramController {
                 let req = self.inflight.remove(idx);
                 self.by_request_id.remove(&req.plan.request_id);
                 self.stats.requests_finished += 1;
+                activity.requests_retired += 1;
                 self.finished.push(FinishedRequest {
                     request_id: req.plan.request_id,
                     submitted_at: req.submitted_at,
@@ -461,6 +668,83 @@ impl OramController {
             self.by_request_id.clear();
             for (i, req) in self.inflight.iter().enumerate() {
                 self.by_request_id.insert(req.plan.request_id, i);
+            }
+        }
+
+        // 6. Settling: decide whether the controller can possibly act next
+        //    cycle without an external event. A retire may unblock a
+        //    predecessor chain (and the runner's staged plan), and a width-
+        //    limited issue pass resumes next cycle, so neither settles. For
+        //    a settled-but-active tick the in-loop `any_pending` may describe
+        //    nodes that fully drained this very cycle, so the saved value is
+        //    rebuilt from the post-tick facts gathered during the issue pass:
+        //    dependency-blocked nodes survive the tick untouched (their
+        //    readiness is frozen until the next event) and leftover pending
+        //    ops on a settled tick can only be DRAM-rejected work. Skipped
+        //    cycles then account stalls exactly as the per-cycle reference
+        //    would have.
+        activity.settled = activity.requests_retired == 0 && !width_limited;
+        if activity.settled && activity.any() {
+            self.last_any_pending = blocked_any || leftover_pending;
+        }
+        activity
+    }
+
+    /// The earliest absolute cycle at which a future [`OramController::tick`]
+    /// could change controller state on its own, assuming no DRAM completions
+    /// and no new submissions arrive in between — i.e. the tick in which the
+    /// nearest running compute countdown reaches zero. `now` is the cycle the
+    /// next tick would execute at. Returns `None` when no node is counting
+    /// down (the controller is then fully at the mercy of DRAM events).
+    ///
+    /// A node whose countdown stands at `k` after a quiet tick decrements on
+    /// each of the next `k` ticks and completes during the tick at
+    /// `now + k - 1`; every earlier tick merely decrements, which
+    /// [`OramController::skip_cycles`] replays in bulk.
+    pub fn next_wakeup(&self, now: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for req in &self.inflight {
+            for &n in &req.countdown {
+                let node = &req.nodes[n as usize];
+                // After a settled tick a tracked node always has at least
+                // one cycle of compute left (a zero-compute node completes
+                // the very next tick); max(1) keeps the prediction safe
+                // ("wake immediately") regardless.
+                let when = now + u64::from(node.compute_remaining.max(1)) - 1;
+                best = Some(best.map_or(when, |b| b.min(when)));
+            }
+        }
+        best
+    }
+
+    /// Accounts `skipped` provably-quiet cycles in bulk: cycle and stall
+    /// counters advance exactly as if [`OramController::tick`] had run
+    /// `skipped` times with no completions, no issues and no node finishing,
+    /// and every running compute countdown decrements by `skipped`.
+    ///
+    /// Callers must only skip cycles strictly before both
+    /// [`OramController::next_wakeup`] and the DRAM model's next event, and
+    /// only after a tick that reported no [`TickActivity`]. `dram_queued` is
+    /// the (frozen) total DRAM queue depth used by the stall-accounting rule.
+    pub fn skip_cycles(&mut self, skipped: u64, dram_queued: usize) {
+        self.stats.cycles += skipped;
+        if self.last_any_pending && dram_queued < 4 {
+            self.stats.sync_stall_cycles += skipped;
+            for sub in SubOram::ALL {
+                if self.last_blocked_levels[sub.index()] {
+                    self.stats.sync_stall_by_level[sub.index()] += skipped;
+                }
+            }
+        }
+        for req in &mut self.inflight {
+            for i in 0..req.countdown.len() {
+                let node = &mut req.nodes[req.countdown[i] as usize];
+                debug_assert!(
+                    u64::from(node.compute_remaining) > skipped,
+                    "skip of {skipped} cycles would overrun a compute countdown at {}",
+                    node.compute_remaining
+                );
+                node.compute_remaining -= skipped as u32;
             }
         }
     }

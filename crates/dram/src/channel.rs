@@ -6,6 +6,13 @@
 //! for conflicting rows. Data-bus occupancy is enforced by spacing column
 //! commands at least a burst apart, which bounds the achievable bandwidth at
 //! the DDR4 peak and makes the bandwidth-utilisation statistics meaningful.
+//!
+//! For the event-driven simulation core the channel additionally predicts
+//! [`Channel::next_event_cycle`] — the earliest future cycle at which a tick
+//! could do anything (issue a command or return read data). Between now and
+//! that cycle every tick is a provable no-op, so the caller may replace the
+//! intervening ticks with one [`Channel::skip_cycles`] call that performs the
+//! identical per-cycle statistics accounting in bulk.
 
 use crate::address::DramCoord;
 use crate::config::DramConfig;
@@ -24,6 +31,8 @@ struct BankState {
 struct QueuedRequest {
     req: MemRequest,
     coord: DramCoord,
+    /// Flat bank index, precomputed at enqueue for the scan hot path.
+    flat_bank: usize,
     enqueued_at: u64,
     row_result: Option<RowBufferResult>,
 }
@@ -53,6 +62,46 @@ pub struct ChannelStats {
     pub precharges: u64,
 }
 
+/// What one [`Channel::tick`] observably did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelTickResult {
+    /// A command (column, activate or precharge) was issued.
+    pub issued: bool,
+    /// Completions were produced (read data returned or a write posted).
+    pub completions: bool,
+}
+
+impl ChannelTickResult {
+    /// `true` if the tick changed any channel state.
+    pub fn any(&self) -> bool {
+        self.issued || self.completions
+    }
+}
+
+/// Result of one fused FR-FCFS scheduling scan over the queue.
+#[derive(Debug, Clone, Copy)]
+struct ScheduleScan {
+    /// Oldest request whose column command is ready (pass 1).
+    column: Option<usize>,
+    /// Oldest request whose activate is ready (pass 2).
+    activate: Option<usize>,
+    /// Oldest request whose precharge is ready (pass 3).
+    precharge: Option<usize>,
+    /// Earliest cycle at which any queued request becomes actionable.
+    next_actionable: u64,
+}
+
+impl Default for ScheduleScan {
+    fn default() -> Self {
+        ScheduleScan {
+            column: None,
+            activate: None,
+            precharge: None,
+            next_actionable: u64::MAX,
+        }
+    }
+}
+
 /// A single DRAM channel with its banks, queue and scheduler.
 #[derive(Debug, Clone)]
 pub struct Channel {
@@ -71,6 +120,14 @@ pub struct Channel {
     in_flight_reads: Vec<(u64, MemCompletion)>,
     completed: Vec<MemCompletion>,
     stats: ChannelStats,
+    /// Cached earliest cycle at which any *queued* request becomes
+    /// actionable. Invalidated (None) by command issues, min-updated in
+    /// O(1) by enqueues, and — deliberately — left untouched by read
+    /// retirements, which change no bank or bus state.
+    queue_next: Option<u64>,
+    /// Earliest data-return cycle among in-flight reads (`u64::MAX` when
+    /// none). Min-updated on read issue, recomputed on retirement.
+    inflight_next: u64,
 }
 
 impl Channel {
@@ -86,6 +143,8 @@ impl Channel {
             in_flight_reads: Vec::new(),
             completed: Vec::new(),
             stats: ChannelStats::default(),
+            queue_next: Some(u64::MAX),
+            inflight_next: u64::MAX,
             config,
         }
     }
@@ -116,13 +175,64 @@ impl Channel {
         if !self.can_accept() {
             return false;
         }
-        self.queue.push_back(QueuedRequest {
+        let entry = QueuedRequest {
             req,
             coord,
+            flat_bank: coord.flat_bank(&self.config),
             enqueued_at: cycle,
             row_result: None,
-        });
+        };
+        // Enqueueing changes no bank or bus state, so cached predictions for
+        // existing entries stay valid; the new entry can only pull the next
+        // event earlier. An O(1) min-update keeps issue bursts from forcing
+        // a full rescan every cycle.
+        if let Some(cached) = self.queue_next {
+            let at = self.entry_earliest(&entry);
+            self.queue_next = Some(cached.min(at));
+        }
+        self.queue.push_back(entry);
         true
+    }
+
+    /// The earliest cycle at which `q` could become actionable given the
+    /// current (frozen) bank and bus state — the per-entry term of
+    /// [`Channel::next_event_cycle`]'s prediction.
+    fn entry_earliest(&self, q: &QueuedRequest) -> u64 {
+        let bank = &self.banks[q.flat_bank];
+        match bank.open_row {
+            Some(row) if row == q.coord.row => {
+                let mut at = bank.next_column.max(self.next_column_cmd);
+                if let Some((when, group)) = self.last_column {
+                    if group == q.coord.bank_group {
+                        at = at.max(when + self.config.t_ccd_l);
+                    }
+                }
+                at
+            }
+            Some(_) => bank.next_precharge,
+            None => {
+                let mut at = bank.next_activate;
+                if self.recent_activates.len() >= 4 {
+                    at = at.max(
+                        self.recent_activates[self.recent_activates.len() - 4] + self.config.t_faw,
+                    );
+                }
+                if let Some((when, group)) = self.last_activate {
+                    let gap = if group == q.coord.bank_group {
+                        self.config.t_rrd_l
+                    } else {
+                        self.config.t_rrd_s
+                    };
+                    at = at.max(when + gap);
+                }
+                at
+            }
+        }
+    }
+
+    /// Returns `true` if completions are waiting to be drained.
+    pub fn has_pending_completions(&self) -> bool {
+        !self.completed.is_empty()
     }
 
     /// Drains completions accumulated since the last call.
@@ -130,105 +240,157 @@ impl Channel {
         std::mem::take(&mut self.completed)
     }
 
-    fn faw_allows(&self, cycle: u64) -> bool {
-        if self.recent_activates.len() < 4 {
-            return true;
-        }
-        let oldest = self.recent_activates[self.recent_activates.len() - 4];
-        cycle >= oldest + self.config.t_faw
+    /// Appends and clears accumulated completions without allocating.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<MemCompletion>) {
+        out.append(&mut self.completed);
     }
 
-    fn rrd_allows(&self, cycle: u64, bank_group: u32) -> bool {
-        match self.last_activate {
-            Some((when, group)) => {
-                let gap = if group == bank_group {
-                    self.config.t_rrd_l
+    /// Advances the channel by one cycle, reporting what the tick did.
+    ///
+    /// When the cached [`Channel::next_event_cycle`] lies in the future the
+    /// tick takes an O(1) fast path: the scheduler provably cannot act, so
+    /// only the per-cycle queue-occupancy accounting runs — making ticks in
+    /// which *other* channels are busy nearly free for this one.
+    pub fn tick(&mut self, cycle: u64) -> ChannelTickResult {
+        // Fast path: no read data due and no queued request actionable.
+        if self.inflight_next > cycle && self.queue_next.is_some_and(|qn| qn > cycle) {
+            self.stats.queue_occupancy_sum += self.queue.len() as u64;
+            return ChannelTickResult::default();
+        }
+        let mut result = ChannelTickResult::default();
+        // Retire reads whose data has returned. Retirement changes no bank
+        // or bus state, so the queue-side prediction survives it.
+        if self.inflight_next <= cycle {
+            let mut i = 0;
+            while i < self.in_flight_reads.len() {
+                if self.in_flight_reads[i].0 <= cycle {
+                    let (_, completion) = self.in_flight_reads.swap_remove(i);
+                    self.stats.read_latency_sum += completion.latency();
+                    self.completed.push(completion);
+                    result.completions = true;
                 } else {
-                    self.config.t_rrd_s
-                };
-                cycle >= when + gap
+                    i += 1;
+                }
             }
-            None => true,
-        }
-    }
-
-    fn ccd_allows(&self, cycle: u64, bank_group: u32) -> bool {
-        if cycle < self.next_column_cmd {
-            return false;
-        }
-        match self.last_column {
-            Some((when, group)) if group == bank_group => cycle >= when + self.config.t_ccd_l,
-            _ => true,
-        }
-    }
-
-    /// Advances the channel by one cycle.
-    pub fn tick(&mut self, cycle: u64) {
-        // Retire reads whose data has returned.
-        let mut i = 0;
-        while i < self.in_flight_reads.len() {
-            if self.in_flight_reads[i].0 <= cycle {
-                let (_, completion) = self.in_flight_reads.swap_remove(i);
-                self.stats.read_latency_sum += completion.latency();
-                self.completed.push(completion);
-            } else {
-                i += 1;
-            }
+            self.inflight_next = self
+                .in_flight_reads
+                .iter()
+                .map(|r| r.0)
+                .min()
+                .unwrap_or(u64::MAX);
         }
 
         self.stats.queue_occupancy_sum += self.queue.len() as u64;
         if self.queue.is_empty() {
-            return;
+            // Re-arm the fast path once the last queued request has issued.
+            self.queue_next = Some(u64::MAX);
+        } else if self.queue_next.is_none_or(|qn| qn <= cycle) {
+            // One fused FR-FCFS scan finds the command to issue this cycle
+            // (pass 1: oldest ready column; pass 2: oldest ready activate;
+            // pass 3: oldest ready precharge) and, as a by-product, the
+            // earliest cycle at which any queued request could act — which
+            // becomes the queue-side prediction when nothing issues.
+            let scan = self.scan_schedule(cycle);
+            if let Some(idx) = scan.column {
+                result.completions |= self.issue_column(idx, cycle);
+                result.issued = true;
+                self.queue_next = None;
+            } else if let Some(idx) = scan.activate {
+                self.issue_activate(idx, cycle);
+                result.issued = true;
+                self.queue_next = None;
+            } else if let Some(idx) = scan.precharge {
+                self.issue_precharge(idx, cycle);
+                result.issued = true;
+                self.queue_next = None;
+            } else {
+                self.queue_next = Some(scan.next_actionable);
+            }
         }
+        result
+    }
 
-        // Pass 1 (FR): oldest request whose row is open and column timing allows.
-        if let Some(idx) = self.find_column_ready(cycle) {
-            self.issue_column(idx, cycle);
-            return;
+    /// The fused FR-FCFS scheduling scan: the oldest actionable request per
+    /// pass, plus the earliest cycle at which *any* queued request becomes
+    /// actionable (the queue-side component of the next-event prediction).
+    fn scan_schedule(&self, cycle: u64) -> ScheduleScan {
+        let mut scan = ScheduleScan::default();
+        for (i, q) in self.queue.iter().enumerate() {
+            let at = self.entry_earliest(q);
+            scan.next_actionable = scan.next_actionable.min(at);
+            if at > cycle {
+                continue;
+            }
+            let bank = &self.banks[q.flat_bank];
+            match bank.open_row {
+                Some(row) if row == q.coord.row => {
+                    // Pass 1 outranks the others and picks the oldest ready
+                    // column, so the first hit ends the scan; later entries
+                    // cannot preempt it and `next_actionable` is only needed
+                    // on no-issue ticks (the caller drops the cache when a
+                    // command issues).
+                    scan.column = Some(i);
+                    return scan;
+                }
+                Some(_) => {
+                    if scan.precharge.is_none() {
+                        scan.precharge = Some(i);
+                    }
+                }
+                None => {
+                    if scan.activate.is_none() {
+                        scan.activate = Some(i);
+                    }
+                }
+            }
         }
-        // Pass 2 (FCFS): oldest request needing an activate on a closed bank.
-        if let Some(idx) = self.find_activate_ready(cycle) {
-            self.issue_activate(idx, cycle);
-            return;
-        }
-        // Pass 3: oldest request blocked behind a conflicting open row.
-        if let Some(idx) = self.find_precharge_ready(cycle) {
-            self.issue_precharge(idx, cycle);
+        scan
+    }
+
+    /// The earliest cycle `>= now` at which a [`Channel::tick`] could do
+    /// anything: return read data, or issue a column/activate/precharge
+    /// command for some queued request. Returns `None` for a fully idle
+    /// channel (empty queue, nothing in flight).
+    ///
+    /// The prediction is exact as long as the channel state does not change:
+    /// every scheduler admission test is a monotone `cycle >= threshold`
+    /// condition over frozen bank/bus state, so the minimum threshold over
+    /// all queued requests and all three passes is the first cycle at which
+    /// the reference per-cycle loop would have acted. The value is cached
+    /// and invalidated by any state change.
+    pub fn next_event_cycle(&mut self, now: u64) -> Option<u64> {
+        let queue_next = match self.queue_next {
+            Some(at) => at,
+            None => {
+                // `scan_schedule`'s next_actionable term is cycle-
+                // independent, so any cycle below the thresholds works.
+                let at = self.scan_schedule(0).next_actionable;
+                self.queue_next = Some(at);
+                at
+            }
+        };
+        let earliest = queue_next.min(self.inflight_next);
+        if earliest == u64::MAX {
+            None
+        } else {
+            Some(earliest.max(now))
         }
     }
 
-    fn find_column_ready(&self, cycle: u64) -> Option<usize> {
-        self.queue.iter().position(|q| {
-            let bank = &self.banks[q.coord.flat_bank(&self.config)];
-            bank.open_row == Some(q.coord.row)
-                && cycle >= bank.next_column
-                && self.ccd_allows(cycle, q.coord.bank_group)
-        })
+    /// Accounts `skipped` provably-idle cycles in bulk: exactly the state the
+    /// reference loop would have accumulated by calling [`Channel::tick`]
+    /// `skipped` times strictly before [`Channel::next_event_cycle`] (each
+    /// such tick only adds the frozen queue length to the occupancy sum).
+    pub fn skip_cycles(&mut self, skipped: u64) {
+        self.stats.queue_occupancy_sum += self.queue.len() as u64 * skipped;
     }
 
-    fn find_activate_ready(&self, cycle: u64) -> Option<usize> {
-        if !self.faw_allows(cycle) {
-            return None;
-        }
-        self.queue.iter().position(|q| {
-            let bank = &self.banks[q.coord.flat_bank(&self.config)];
-            bank.open_row.is_none()
-                && cycle >= bank.next_activate
-                && self.rrd_allows(cycle, q.coord.bank_group)
-        })
-    }
-
-    fn find_precharge_ready(&self, cycle: u64) -> Option<usize> {
-        self.queue.iter().position(|q| {
-            let bank = &self.banks[q.coord.flat_bank(&self.config)];
-            matches!(bank.open_row, Some(row) if row != q.coord.row) && cycle >= bank.next_precharge
-        })
-    }
-
-    fn issue_column(&mut self, idx: usize, cycle: u64) {
-        let q = self.queue.remove(idx).expect("index from position()");
+    /// Issues a column command; returns `true` if it produced an immediate
+    /// completion (writes are posted).
+    fn issue_column(&mut self, idx: usize, cycle: u64) -> bool {
+        let q = self.queue.remove(idx).expect("index from scan");
         let cfg = self.config;
-        let bank = &mut self.banks[q.coord.flat_bank(&cfg)];
+        let bank = &mut self.banks[q.flat_bank];
         let row_result = q.row_result.unwrap_or(RowBufferResult::Hit);
         match row_result {
             RowBufferResult::Hit => self.stats.row_hits += 1,
@@ -246,6 +408,7 @@ impl Channel {
                 bank.next_precharge = bank.next_precharge.max(cycle + cfg.t_rtp);
                 bank.next_column = bank.next_column.max(cycle + cfg.t_ccd_l);
                 self.stats.reads += 1;
+                self.inflight_next = self.inflight_next.min(data_ready);
                 self.in_flight_reads.push((
                     data_ready,
                     MemCompletion {
@@ -257,6 +420,7 @@ impl Channel {
                         row_result,
                     },
                 ));
+                false
             }
             MemOpKind::Write => {
                 let burst_end = cycle + cfg.t_cwl + cfg.t_bl;
@@ -271,6 +435,7 @@ impl Channel {
                     completed_at: cycle,
                     row_result,
                 });
+                true
             }
         }
     }
@@ -282,7 +447,7 @@ impl Channel {
             if q.row_result.is_none() {
                 q.row_result = Some(RowBufferResult::Miss);
             }
-            (q.coord.flat_bank(&cfg), q.coord.row, q.coord.bank_group)
+            (q.flat_bank, q.coord.row, q.coord.bank_group)
         };
         let bank = &mut self.banks[flat_bank];
         bank.open_row = Some(row);
@@ -302,7 +467,7 @@ impl Channel {
         let flat_bank = {
             let q = &mut self.queue[idx];
             q.row_result = Some(RowBufferResult::Conflict);
-            q.coord.flat_bank(&cfg)
+            q.flat_bank
         };
         let bank = &mut self.banks[flat_bank];
         bank.open_row = None;
@@ -428,6 +593,53 @@ mod tests {
             last < isolated * 8 / 2,
             "bank-level parallelism missing: {last} cycles for 8 requests"
         );
+    }
+
+    #[test]
+    fn next_event_cycle_is_never_in_the_past() {
+        // Mixed traffic with row hits, conflicts and reads in flight: after
+        // every tick the prediction must lie at or after the next cycle, and
+        // every tick strictly before the predicted cycle must do nothing.
+        let (mut ch, m) = channel_and_mapper();
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        let conflict_stride = cfg.row_bytes
+            * u64::from(cfg.channels)
+            * u64::from(cfg.bank_groups)
+            * u64::from(cfg.banks_per_group);
+        for i in 0..12u64 {
+            let addr = (i % 3) * conflict_stride + i * 64;
+            assert!(ch.enqueue(MemRequest::read(i, addr), m.map(addr), 0));
+        }
+        let mut done = 0usize;
+        let mut cycle = 0u64;
+        while done < 12 {
+            let result = ch.tick(cycle);
+            done += ch.drain_completed().len();
+            if let Some(next) = ch.next_event_cycle(cycle + 1) {
+                assert!(
+                    next > cycle,
+                    "prediction {next} lies before cycle {}",
+                    cycle + 1
+                );
+                if result.any() {
+                    // Active tick: prediction freshly recomputed; the gap
+                    // until it must be provably idle.
+                    for idle in (cycle + 1)..next {
+                        let r = ch.tick(idle);
+                        assert_eq!(
+                            r,
+                            ChannelTickResult::default(),
+                            "tick at {idle} acted before predicted event {next}"
+                        );
+                    }
+                    cycle = next;
+                    continue;
+                }
+            }
+            cycle += 1;
+            assert!(cycle < 100_000, "did not converge");
+        }
+        assert_eq!(ch.outstanding(), 0);
     }
 
     #[test]

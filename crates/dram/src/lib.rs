@@ -26,6 +26,7 @@ pub mod request;
 pub mod stats;
 pub mod system;
 
+pub use channel::ChannelTickResult;
 pub use config::DramConfig;
 pub use request::{MemCompletion, MemOpKind, MemRequest, RequestId, RowBufferResult};
 pub use stats::DramStats;

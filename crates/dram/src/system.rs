@@ -1,7 +1,7 @@
 //! The multi-channel DRAM system presented to the ORAM controller.
 
 use crate::address::AddressMapper;
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelTickResult};
 use crate::config::DramConfig;
 use crate::request::{MemCompletion, MemRequest};
 use crate::stats::DramStats;
@@ -73,21 +73,61 @@ impl DramSystem {
         self.channels[coord.channel as usize].enqueue(req, coord, self.cycle)
     }
 
-    /// Advances all channels by one memory-clock cycle.
-    pub fn tick(&mut self) {
+    /// Advances all channels by one memory-clock cycle, reporting what the
+    /// tick observably did across channels — the event-driven runner derives
+    /// its time-skipping preconditions from the result.
+    pub fn tick(&mut self) -> ChannelTickResult {
+        let mut result = ChannelTickResult::default();
         for channel in &mut self.channels {
-            channel.tick(self.cycle);
+            let r = channel.tick(self.cycle);
+            result.issued |= r.issued;
+            result.completions |= r.completions;
         }
         self.cycle += 1;
+        result
+    }
+
+    /// The earliest cycle `>=` the current cycle at which any channel could
+    /// do observable work, or `None` if the whole system is idle. See
+    /// [`Channel::next_event_cycle`] for the exactness argument.
+    pub fn next_event_cycle(&mut self) -> Option<u64> {
+        let now = self.cycle;
+        self.channels
+            .iter_mut()
+            .filter_map(|c| c.next_event_cycle(now))
+            .min()
+    }
+
+    /// Advances the clock by `skipped` provably-idle cycles, performing the
+    /// same per-cycle statistics accounting the reference loop would have.
+    /// Callers must only skip cycles strictly before
+    /// [`DramSystem::next_event_cycle`].
+    pub fn skip_cycles(&mut self, skipped: u64) {
+        for channel in &mut self.channels {
+            channel.skip_cycles(skipped);
+        }
+        self.cycle += skipped;
+    }
+
+    /// Returns `true` if any channel holds completions not yet drained.
+    pub fn has_pending_completions(&self) -> bool {
+        self.channels.iter().any(|c| c.has_pending_completions())
     }
 
     /// Collects all completions produced since the previous call.
     pub fn drain_completed(&mut self) -> Vec<MemCompletion> {
         let mut out = Vec::new();
-        for channel in &mut self.channels {
-            out.extend(channel.drain_completed());
-        }
+        self.drain_completed_into(&mut out);
         out
+    }
+
+    /// Appends all completions produced since the previous call to `out`
+    /// without allocating (the hot-loop variant of
+    /// [`DramSystem::drain_completed`]).
+    pub fn drain_completed_into(&mut self, out: &mut Vec<MemCompletion>) {
+        for channel in &mut self.channels {
+            channel.drain_completed_into(out);
+        }
     }
 
     /// Requests currently queued or in flight across all channels.
@@ -181,6 +221,56 @@ mod tests {
             parallel_cycles * 4 < serial_cycles,
             "parallel {parallel_cycles} vs serial {serial_cycles}"
         );
+    }
+
+    #[test]
+    fn skip_cycles_matches_ticked_idle_cycles() {
+        // Drive the system to a quiet point, then advance one clone tick by
+        // tick and the other with a single bulk skip: every statistic and
+        // all subsequent behaviour must be identical.
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+        for i in 0..8u64 {
+            assert!(dram.try_enqueue(MemRequest::read(i, i * 4096)));
+        }
+        let mut drained = Vec::new();
+        // Tick until a quiet cycle with a future event.
+        let (mut ticked, mut skipped) = loop {
+            let result = dram.tick();
+            drained.extend(dram.drain_completed());
+            let next = dram.next_event_cycle();
+            if !result.any() {
+                if let Some(next) = next {
+                    if next > dram.cycle() {
+                        break (dram.clone(), dram.clone());
+                    }
+                } else {
+                    panic!("system went idle with {} completions", drained.len());
+                }
+            }
+            assert!(dram.cycle() < 10_000, "no quiet window found");
+        };
+        let next = ticked.next_event_cycle().unwrap();
+        let gap = next - ticked.cycle();
+        assert!(gap > 0);
+        for _ in 0..gap {
+            let r = ticked.tick();
+            assert!(!r.any(), "reference tick acted inside the skip window");
+        }
+        skipped.skip_cycles(gap);
+        assert_eq!(ticked.cycle(), skipped.cycle());
+        assert_eq!(ticked.stats(), skipped.stats());
+        // Subsequent behaviour stays in lock step until fully drained.
+        for _ in 0..5_000 {
+            let a = ticked.tick();
+            let b = skipped.tick();
+            assert_eq!(a, b);
+            assert_eq!(ticked.drain_completed(), skipped.drain_completed());
+            if ticked.outstanding() == 0 {
+                break;
+            }
+        }
+        assert_eq!(ticked.outstanding(), 0);
+        assert_eq!(ticked.stats(), skipped.stats());
     }
 
     #[test]

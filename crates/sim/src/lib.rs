@@ -18,6 +18,8 @@ pub mod system;
 pub use experiment::{
     Executor, Experiment, ResultSet, RunRecord, RunSpec, SerialExecutor, ThreadPoolExecutor,
 };
-pub use runner::{run_workload, RunMetrics};
+pub use runner::{
+    run_workload, run_workload_stepped, EventStepper, ReferenceStepper, RunMetrics, Stepper,
+};
 pub use schemes::Scheme;
 pub use system::SystemConfig;

@@ -1,4 +1,4 @@
-//! The cycle-driven end-to-end simulation loop.
+//! The cycle-exact end-to-end simulation loop.
 //!
 //! One [`run_workload`] call simulates a single (scheme, workload) pair:
 //! the workload's memory accesses are filtered by the LLC, every miss is
@@ -6,6 +6,20 @@
 //! issues the request's DRAM traffic subject to the scheme's scheduling
 //! policy, and the DRAM model services it cycle by cycle. Metrics are
 //! collected over the post-warm-up window only.
+//!
+//! # Event-driven time skipping
+//!
+//! The loop is *event-driven*: after any iteration in which neither the
+//! controller nor the DRAM model did observable work and no new plan is
+//! about to be staged, the clock jumps straight to the next cycle at which
+//! anything can change — the minimum of the DRAM model's
+//! `next_event_cycle()` (bank timing expiry, bus free, data return) and the
+//! controller's `next_wakeup()` (compute countdown expiry). Skipped cycles
+//! are accounted *exactly* as if they had been ticked (cycle counters, queue
+//! occupancy, sync-stall attribution), so all metrics are byte-identical to
+//! the per-cycle reference loop; [`ReferenceStepper`] keeps that reference
+//! loop alive as a test double and `tests/stepper_equivalence.rs` proves the
+//! equivalence over the full scheme × workload grid.
 //!
 //! Anything bigger than one run — grids, sweeps, parallel execution —
 //! belongs to the typed [`crate::experiment`] surface built on top of
@@ -26,7 +40,7 @@ use palermo_workloads::{Llc, Workload};
 pub const CLOCK_HZ: f64 = 1.6e9;
 
 /// Metrics collected over the measured window of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// The scheme that was simulated.
     pub scheme: Scheme,
@@ -38,6 +52,15 @@ pub struct RunMetrics {
     /// plus misses). This is the application-progress measure that
     /// end-to-end speedups are computed from: prefetching schemes serve more
     /// accesses per ORAM request because prefetched lines hit in the LLC.
+    ///
+    /// **Window boundary:** accesses are attributed to the ORAM request they
+    /// formed (the run of LLC hits ending in the miss that became the
+    /// request) and counted when that request *completes* inside the
+    /// measured window — the same completion-side boundary that gates
+    /// [`RunMetrics::oram_requests`] and [`RunMetrics::latencies`]. Accesses
+    /// pulled for requests still in flight when the window closes are not
+    /// counted, keeping `workload_accesses` consistent with the request
+    /// count it is divided by.
     pub workload_accesses: u64,
     /// Dummy (background-eviction) requests completed in the measured window.
     pub dummy_requests: u64,
@@ -110,6 +133,19 @@ impl RunMetrics {
     }
 }
 
+/// Per-request bookkeeping carried from submission to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlightEntry {
+    request_id: u64,
+    /// Whether the block had been written before (Fig. 9 behaviour bit).
+    found: bool,
+    /// Whether this is a controller-injected background eviction.
+    is_dummy: bool,
+    /// Workload accesses (LLC hits plus the final miss) consumed to form
+    /// this request; attributed to the measured window at completion.
+    accesses: u64,
+}
+
 /// Bookkeeping for the requests currently in flight, keyed by request id.
 ///
 /// The number of outstanding requests is bounded by the PE-column count
@@ -118,19 +154,92 @@ impl RunMetrics {
 /// a `HashMap` insert + remove).
 #[derive(Debug, Default)]
 struct InFlightTable {
-    /// `(request id, was previously written, is dummy)` per live request.
-    entries: Vec<(u64, bool, bool)>,
+    entries: Vec<InFlightEntry>,
 }
 
 impl InFlightTable {
-    fn insert(&mut self, request_id: u64, found: bool, is_dummy: bool) {
-        self.entries.push((request_id, found, is_dummy));
+    fn insert(&mut self, request_id: u64, found: bool, is_dummy: bool, accesses: u64) {
+        self.entries.push(InFlightEntry {
+            request_id,
+            found,
+            is_dummy,
+            accesses,
+        });
     }
 
-    fn remove(&mut self, request_id: u64) -> Option<(bool, bool)> {
-        let pos = self.entries.iter().position(|e| e.0 == request_id)?;
-        let (_, found, is_dummy) = self.entries.swap_remove(pos);
-        Some((found, is_dummy))
+    fn remove(&mut self, request_id: u64) -> Option<InFlightEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.request_id == request_id)?;
+        Some(self.entries.swap_remove(pos))
+    }
+}
+
+/// Clock-advance strategy for the simulation loop.
+///
+/// Every iteration of [`run_with_configs`] performs one reference step
+/// (stage/submit, controller tick, DRAM tick, drain completions) and then
+/// hands the stepper a chance to advance the clock past provably-idle
+/// cycles. The two implementations must produce byte-identical
+/// [`RunMetrics`]; `tests/stepper_equivalence.rs` enforces this over the
+/// full scheme × workload grid.
+pub trait Stepper {
+    /// Possibly advance time after one reference iteration. `quiescent` is
+    /// `true` only when the iteration proved the system state frozen until
+    /// the next predictable event: the controller tick settled (no retire,
+    /// issue pass fully drained), the DRAM tick produced no completions, no
+    /// DRAM-rejected enqueue could retry against freed queue space, and the
+    /// runner will not stage a new plan next iteration.
+    fn advance_idle(&self, controller: &mut OramController, dram: &mut DramSystem, quiescent: bool);
+}
+
+/// The seed per-cycle stepper: never skips, ticking every 1.6 GHz cycle.
+/// Kept as the oracle the event-driven core is checked against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceStepper;
+
+impl Stepper for ReferenceStepper {
+    fn advance_idle(
+        &self,
+        _controller: &mut OramController,
+        _dram: &mut DramSystem,
+        _quiescent: bool,
+    ) {
+    }
+}
+
+/// The event-driven stepper: after a quiescent iteration, jumps the clock to
+/// the earliest cycle at which anything can change and bulk-accounts the
+/// skipped cycles exactly as if they had been ticked.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventStepper;
+
+impl Stepper for EventStepper {
+    fn advance_idle(
+        &self,
+        controller: &mut OramController,
+        dram: &mut DramSystem,
+        quiescent: bool,
+    ) {
+        if !quiescent || dram.has_pending_completions() {
+            return;
+        }
+        let now = dram.cycle();
+        let next = match (controller.next_wakeup(now), dram.next_event_cycle()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            // Nothing pending anywhere: the next iteration will either stage
+            // work or exit; single-stepping is the only correct move.
+            (None, None) => return,
+        };
+        debug_assert!(next >= now, "next event {next} lies before cycle {now}");
+        let skipped = next.saturating_sub(now);
+        if skipped > 0 {
+            controller.skip_cycles(skipped, dram.queued());
+            dram.skip_cycles(skipped);
+        }
     }
 }
 
@@ -161,26 +270,7 @@ pub fn run_workload(
     workload: Workload,
     config: &SystemConfig,
 ) -> OramResult<RunMetrics> {
-    let params = config.hierarchy_params()?;
-    let prefetch_length = if scheme.uses_prefetch() {
-        config
-            .prefetch_override
-            .unwrap_or_else(|| workload.default_prefetch_length())
-            .max(1)
-    } else {
-        1
-    };
-    let hierarchy_cfg =
-        scheme.hierarchy_config(params, config.seed, prefetch_length, config.stash_capacity)?;
-    let controller_cfg = scheme.controller_config(config.pe_columns);
-    run_with_configs(
-        scheme,
-        hierarchy_cfg,
-        controller_cfg,
-        workload,
-        config,
-        prefetch_length,
-    )
+    run_workload_stepped(scheme, workload, config, &EventStepper)
 }
 
 /// Simulates a run with explicitly supplied protocol and controller
@@ -199,6 +289,69 @@ pub fn run_with_configs(
     workload: Workload,
     config: &SystemConfig,
     prefetch_length: u32,
+) -> OramResult<RunMetrics> {
+    run_with_configs_stepped(
+        scheme,
+        hierarchy_cfg,
+        controller_cfg,
+        workload,
+        config,
+        prefetch_length,
+        &EventStepper,
+    )
+}
+
+/// Simulates one (scheme, workload) pair under an explicit clock-advance
+/// strategy. [`run_workload`] uses the [`EventStepper`]; passing
+/// [`ReferenceStepper`] reproduces the seed per-cycle loop for equivalence
+/// checking.
+///
+/// # Errors
+///
+/// Propagates protocol-configuration errors.
+pub fn run_workload_stepped(
+    scheme: Scheme,
+    workload: Workload,
+    config: &SystemConfig,
+    stepper: &dyn Stepper,
+) -> OramResult<RunMetrics> {
+    let params = config.hierarchy_params()?;
+    let prefetch_length = if scheme.uses_prefetch() {
+        config
+            .prefetch_override
+            .unwrap_or_else(|| workload.default_prefetch_length())
+            .max(1)
+    } else {
+        1
+    };
+    let hierarchy_cfg =
+        scheme.hierarchy_config(params, config.seed, prefetch_length, config.stash_capacity)?;
+    let controller_cfg = scheme.controller_config(config.pe_columns);
+    run_with_configs_stepped(
+        scheme,
+        hierarchy_cfg,
+        controller_cfg,
+        workload,
+        config,
+        prefetch_length,
+        stepper,
+    )
+}
+
+/// [`run_with_configs`] with an explicit clock-advance strategy.
+///
+/// # Errors
+///
+/// Propagates protocol-configuration errors.
+#[allow(clippy::too_many_lines)]
+pub fn run_with_configs_stepped(
+    scheme: Scheme,
+    hierarchy_cfg: palermo_oram::hierarchy::HierarchyConfig,
+    controller_cfg: palermo_controller::ControllerConfig,
+    workload: Workload,
+    config: &SystemConfig,
+    prefetch_length: u32,
+    stepper: &dyn Stepper,
 ) -> OramResult<RunMetrics> {
     let mut oram = HierarchicalOram::new(hierarchy_cfg)?;
     let mut controller = OramController::new(controller_cfg);
@@ -219,9 +372,13 @@ pub fn run_with_configs(
     let mut finished_real: u64 = 0;
     let mut pending_plan = None;
 
-    let mut measuring = false;
+    // With no warm-up the measured window opens at cycle 0, before any
+    // completion: waiting for the first completion (the old behaviour) left
+    // every counter at zero because `finished_real == warmup` can never hold
+    // once a real request has already retired.
+    let mut measuring = warmup == 0;
     let mut measure_start_cycle = 0u64;
-    let mut dram_at_start = DramStats::default();
+    let mut dram_at_start = dram.stats();
     let mut ctrl_at_start = *controller.stats();
 
     let mut metrics = RunMetrics {
@@ -249,18 +406,17 @@ pub fn run_with_configs(
         if pending_plan.is_none() && submitted < total_requests + config.measured_requests {
             if oram.needs_background_evict() {
                 let result = oram.background_evict();
-                in_flight.insert(result.plan.request_id, false, true);
+                in_flight.insert(result.plan.request_id, false, true, 0);
                 pending_plan = Some(result.plan);
             } else if submitted < total_requests {
                 // Pull workload accesses through the LLC until one misses.
                 // An all-hits workload cannot form an ORAM request, so it
                 // would wedge this loop forever; fail loudly instead.
+                let mut accesses_for_request = 0u64;
                 let mut guard = 0u64;
                 let (pa, op) = loop {
                     let entry = stream.next_access();
-                    if measuring {
-                        metrics.workload_accesses += 1;
-                    }
+                    accesses_for_request += 1;
                     let pa = PhysAddr::new(entry.addr.0 % (protected_lines * 64));
                     if !llc.access(pa) {
                         break (pa, entry.op);
@@ -277,7 +433,12 @@ pub fn run_with_configs(
                 for line in &result.prefetched {
                     llc.fill_line(line.0);
                 }
-                in_flight.insert(result.plan.request_id, result.found, false);
+                in_flight.insert(
+                    result.plan.request_id,
+                    result.found,
+                    false,
+                    accesses_for_request,
+                );
                 pending_plan = Some(result.plan);
                 submitted += 1;
             }
@@ -290,14 +451,31 @@ pub fn run_with_configs(
             }
         }
 
-        controller.tick(&mut dram);
-        dram.tick();
+        let ctrl_activity = controller.tick(&mut dram);
+        let dram_result = dram.tick();
 
         for finished in controller.drain_finished() {
-            let (found, is_dummy) = in_flight
-                .remove(finished.request_id)
-                .unwrap_or((false, finished.is_dummy));
-            if !is_dummy {
+            // A completion for an id the runner never submitted means the
+            // controller's bookkeeping is corrupt; surfacing it as dummy
+            // traffic (the old fallback) would mask the bug.
+            let entry = match in_flight.remove(finished.request_id) {
+                Some(entry) => entry,
+                None => {
+                    debug_assert!(
+                        false,
+                        "controller retired unknown request id {} — \
+                         in-flight table out of sync",
+                        finished.request_id
+                    );
+                    InFlightEntry {
+                        request_id: finished.request_id,
+                        found: false,
+                        is_dummy: finished.is_dummy,
+                        accesses: 0,
+                    }
+                }
+            };
+            if !entry.is_dummy {
                 finished_real += 1;
             }
             if finished_real == warmup && !measuring {
@@ -307,12 +485,15 @@ pub fn run_with_configs(
                 ctrl_at_start = *controller.stats();
             }
             if measuring && finished_real > warmup {
-                if is_dummy {
+                if entry.is_dummy {
                     metrics.dummy_requests += 1;
                 } else {
                     metrics.oram_requests += 1;
+                    metrics.workload_accesses += entry.accesses;
                     metrics.latencies.push(finished.latency());
-                    metrics.behaviour_latency.push((found, finished.latency()));
+                    metrics
+                        .behaviour_latency
+                        .push((entry.found, finished.latency()));
                     if metrics.oram_requests.is_multiple_of(sample_every) {
                         let progress =
                             metrics.oram_requests as f64 / config.measured_requests as f64;
@@ -323,6 +504,19 @@ pub fn run_with_configs(
                 }
             }
         }
+
+        // Time skipping: after a provably-quiet iteration, jump to the next
+        // cycle at which anything can change. Falls back to single-stepping
+        // whenever a new plan is about to be staged (staging is a zero-time
+        // runner-level event the clock models cannot predict).
+        let will_stage = pending_plan.is_none()
+            && submitted < total_requests + config.measured_requests
+            && (oram.needs_background_evict() || submitted < total_requests);
+        let quiescent = ctrl_activity.settled
+            && !dram_result.completions
+            && !will_stage
+            && (!dram_result.issued || !controller.enqueue_blocked());
+        stepper.advance_idle(&mut controller, &mut dram, quiescent);
     }
 
     let dram_end = dram.stats();
@@ -465,15 +659,37 @@ mod tests {
 
     #[test]
     fn in_flight_table_handles_out_of_order_completion() {
+        let entry = |request_id, found, is_dummy, accesses| InFlightEntry {
+            request_id,
+            found,
+            is_dummy,
+            accesses,
+        };
         let mut table = InFlightTable::default();
-        table.insert(1, true, false);
-        table.insert(2, false, true);
-        table.insert(3, false, false);
-        assert_eq!(table.remove(2), Some((false, true)));
+        table.insert(1, true, false, 4);
+        table.insert(2, false, true, 0);
+        table.insert(3, false, false, 1);
+        assert_eq!(table.remove(2), Some(entry(2, false, true, 0)));
         assert_eq!(table.remove(2), None);
-        assert_eq!(table.remove(1), Some((true, false)));
-        assert_eq!(table.remove(3), Some((false, false)));
+        assert_eq!(table.remove(1), Some(entry(1, true, false, 4)));
+        assert_eq!(table.remove(3), Some(entry(3, false, false, 1)));
         assert_eq!(table.remove(4), None);
+    }
+
+    #[test]
+    fn zero_warmup_opens_measured_window() {
+        // Regression: with `warmup_requests = 0` the old loop only started
+        // measuring if a dummy happened to complete before the first real
+        // request, so metrics silently stayed empty.
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 30;
+        cfg.warmup_requests = 0;
+        let m = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
+        assert_eq!(m.oram_requests, cfg.measured_requests);
+        assert_eq!(m.latencies.len(), cfg.measured_requests as usize);
+        assert!(m.workload_accesses >= m.oram_requests);
+        assert!(m.cycles > 0);
+        assert!(m.dram.total_accesses() > 0);
     }
 
     #[test]

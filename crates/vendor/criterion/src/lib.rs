@@ -148,6 +148,32 @@ fn report(group: &str, id: &str, mean_ns: f64) {
         (mean_ns, "ns")
     };
     println!("{group}/{id}: mean {value:.3} {unit}/iter");
+    if let Ok(path) = std::env::var("PALERMO_BENCH_JSON") {
+        append_json_record(&path, group, id, mean_ns);
+    }
+}
+
+/// Appends one JSON-lines record per benchmark to the file named by the
+/// `PALERMO_BENCH_JSON` environment variable, so CI can persist a machine-
+/// readable baseline (e.g. `BENCH_tick_loop.json`) and future changes can be
+/// compared against it.
+fn append_json_record(path: &str, group: &str, id: &str, mean_ns: f64) {
+    use std::io::Write;
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let record = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1}}}\n",
+        escape(group),
+        escape(id),
+        mean_ns
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: could not write bench record to {path}: {e}");
+    }
 }
 
 /// The benchmark driver, mirroring `criterion::Criterion`.
