@@ -3,7 +3,7 @@
 //! The paper's evaluation is a large grid of *independent* (scheme ×
 //! workload × configuration) simulations. This module replaces the
 //! hand-rolled nested loops the figure runners used to build around
-//! [`run_workload`] with three pieces:
+//! [`run_workload`](crate::runner::run_workload) with three pieces:
 //!
 //! * [`RunSpec`] — a fully-resolved description of one simulation run
 //!   (scheme, workload, per-run [`SystemConfig`], label);
@@ -44,13 +44,13 @@ pub mod results;
 pub use executor::{Executor, SerialExecutor, ThreadPoolExecutor};
 pub use results::{ResultSet, RunRecord, RunSummary};
 
-use crate::runner::{run_with_configs, run_workload, RunMetrics};
+use crate::runner::{run_with_configs_spec, run_workload_spec, RunMetrics};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_controller::ControllerConfig;
 use palermo_oram::error::OramResult;
 use palermo_oram::hierarchy::HierarchyConfig;
-use palermo_workloads::Workload;
+use palermo_workloads::{Workload, WorkloadSpec};
 
 /// Explicit protocol/controller configurations for a run that falls outside
 /// the standard [`Scheme`] set (e.g. PrORAM without the fat tree for
@@ -73,8 +73,9 @@ pub struct CustomProtocol {
 pub struct RunSpec {
     /// The ORAM design to simulate (or to label a custom run with).
     pub scheme: Scheme,
-    /// The workload driving the run.
-    pub workload: Workload,
+    /// The workload spec driving the run: a Table II workload, a trace
+    /// replay, or a multi-tenant mix.
+    pub workload: WorkloadSpec,
     /// The complete system configuration, per-run overrides already applied.
     pub config: SystemConfig,
     /// Human-readable label; unique within one experiment's grid.
@@ -85,13 +86,25 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// Creates a spec with the default `scheme/workload` label.
+    /// Creates a spec for a Table II workload with the default
+    /// `scheme/workload` label.
     pub fn new(scheme: Scheme, workload: Workload, config: SystemConfig) -> Self {
+        Self::with_workload_spec(scheme, WorkloadSpec::Table2(workload), config)
+    }
+
+    /// Creates a spec for an arbitrary [`WorkloadSpec`] with the default
+    /// `scheme/spec-name` label.
+    pub fn with_workload_spec(
+        scheme: Scheme,
+        workload: WorkloadSpec,
+        config: SystemConfig,
+    ) -> Self {
+        let label = format!("{scheme}/{workload}");
         RunSpec {
             scheme,
             workload,
             config,
-            label: format!("{scheme}/{workload}"),
+            label,
             custom: None,
         }
     }
@@ -121,15 +134,15 @@ impl RunSpec {
     /// [`OramError::WorkloadStalled`]: palermo_oram::error::OramError::WorkloadStalled
     pub fn execute(&self) -> OramResult<RunMetrics> {
         match &self.custom {
-            Some(custom) => run_with_configs(
+            Some(custom) => run_with_configs_spec(
                 self.scheme,
                 custom.hierarchy.clone(),
                 custom.controller,
-                self.workload,
+                &self.workload,
                 &self.config,
                 custom.prefetch_length,
             ),
-            None => run_workload(self.scheme, self.workload, &self.config),
+            None => run_workload_spec(self.scheme, &self.workload, &self.config),
         }
     }
 
@@ -143,7 +156,7 @@ impl RunSpec {
         Ok(RunRecord {
             label: self.label.clone(),
             scheme: self.scheme,
-            workload: self.workload,
+            workload: self.workload.clone(),
             metrics,
         })
     }
@@ -171,7 +184,7 @@ impl RunSpec {
 pub struct Experiment {
     base: SystemConfig,
     schemes: Vec<Scheme>,
-    workloads: Vec<Workload>,
+    workloads: Vec<WorkloadSpec>,
     prefetch_lengths: Vec<u32>,
     variants: Vec<(String, SystemConfig)>,
     extra: Vec<RunSpec>,
@@ -197,10 +210,20 @@ impl Experiment {
         self
     }
 
-    /// Adds workloads to the grid (row dimension).
+    /// Adds Table II workloads to the grid (row dimension).
     #[must_use]
     pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
-        self.workloads.extend(workloads);
+        self.workloads
+            .extend(workloads.into_iter().map(WorkloadSpec::Table2));
+        self
+    }
+
+    /// Adds arbitrary workload specs to the grid (row dimension) — trace
+    /// replays and multi-tenant mixes sweep exactly like Table II
+    /// workloads.
+    #[must_use]
+    pub fn workload_specs(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(specs);
         self
     }
 
@@ -258,7 +281,7 @@ impl Experiment {
         };
         let mut specs = Vec::new();
         for (vlabel, vcfg) in &variants {
-            for &workload in &self.workloads {
+            for workload in &self.workloads {
                 for &scheme in &self.schemes {
                     for &pf in &prefetch {
                         let mut config = *vcfg;
@@ -274,7 +297,7 @@ impl Experiment {
                         }
                         specs.push(RunSpec {
                             scheme,
-                            workload,
+                            workload: workload.clone(),
                             config,
                             label,
                             custom: None,
@@ -364,7 +387,7 @@ mod tests {
     fn spec_executes_like_run_workload() {
         let cfg = tiny();
         let spec = RunSpec::new(Scheme::Palermo, Workload::Random, cfg);
-        let direct = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
+        let direct = crate::runner::run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
         let via_spec = spec.execute().unwrap();
         assert_eq!(via_spec.cycles, direct.cycles);
         assert_eq!(via_spec.latencies, direct.latencies);

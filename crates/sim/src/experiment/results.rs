@@ -4,7 +4,7 @@
 use crate::runner::RunMetrics;
 use crate::schemes::Scheme;
 use palermo_analysis::stats::geometric_mean;
-use palermo_workloads::Workload;
+use palermo_workloads::{Workload, WorkloadSpec};
 use std::fmt::Write as _;
 
 /// The outcome of one executed [`RunSpec`](super::RunSpec).
@@ -14,8 +14,8 @@ pub struct RunRecord {
     pub label: String,
     /// The scheme that was simulated.
     pub scheme: Scheme,
-    /// The workload that drove it.
-    pub workload: Workload,
+    /// The workload spec that drove it.
+    pub workload: WorkloadSpec,
     /// Full metrics of the measured window.
     pub metrics: RunMetrics,
 }
@@ -26,7 +26,7 @@ impl RunRecord {
         RunSummary {
             label: self.label.clone(),
             scheme: self.scheme,
-            workload: self.workload,
+            workload: self.workload.clone(),
             prefetch_length: self.metrics.prefetch_length,
             oram_requests: self.metrics.oram_requests,
             workload_accesses: self.metrics.workload_accesses,
@@ -50,8 +50,10 @@ pub struct RunSummary {
     pub label: String,
     /// The scheme.
     pub scheme: Scheme,
-    /// The workload.
-    pub workload: Workload,
+    /// The workload spec, exported by its canonical name
+    /// ([`WorkloadSpec::name`]) and parsed back with
+    /// [`WorkloadSpec::from_name`].
+    pub workload: WorkloadSpec,
     /// Prefetch length the run used (1 = none).
     pub prefetch_length: u32,
     /// Real ORAM requests completed in the measured window.
@@ -94,7 +96,7 @@ bandwidth_utilization,sync_stall_cycles";
             "{},{},{},{},{},{},{},{},{},{},{},{},{}",
             sanitize_csv(&self.label),
             self.scheme,
-            self.workload,
+            sanitize_csv(&self.workload.name()),
             self.prefetch_length,
             self.oram_requests,
             self.workload_accesses,
@@ -118,7 +120,7 @@ bandwidth_utilization,sync_stall_cycles";
         Some(RunSummary {
             label: fields[0].to_string(),
             scheme: Scheme::from_name(fields[1])?,
-            workload: Workload::from_name(fields[2])?,
+            workload: WorkloadSpec::from_name(fields[2])?,
             prefetch_length: fields[3].parse().ok()?,
             oram_requests: fields[4].parse().ok()?,
             workload_accesses: fields[5].parse().ok()?,
@@ -141,7 +143,7 @@ bandwidth_utilization,sync_stall_cycles";
 \"stash_high_water\":{},\"bandwidth_utilization\":{},\"sync_stall_cycles\":{}}}",
             escape_json(&self.label),
             self.scheme,
-            self.workload,
+            escape_json(&self.workload.name()),
             self.prefetch_length,
             self.oram_requests,
             self.workload_accesses,
@@ -224,13 +226,19 @@ impl ResultSet {
         self.records
     }
 
-    /// The first record for the given (scheme, workload) cell, if any.
-    /// Sweeps produce several records per cell — disambiguate those with
-    /// [`ResultSet::by_label`].
+    /// The first record for the given (scheme, Table II workload) cell, if
+    /// any. Sweeps produce several records per cell — disambiguate those
+    /// with [`ResultSet::by_label`]; replay/mix cells are looked up with
+    /// [`ResultSet::get_spec`].
     pub fn get(&self, scheme: Scheme, workload: Workload) -> Option<&RunRecord> {
+        self.get_spec(scheme, &WorkloadSpec::Table2(workload))
+    }
+
+    /// The first record for the given (scheme, workload spec) cell, if any.
+    pub fn get_spec(&self, scheme: Scheme, workload: &WorkloadSpec) -> Option<&RunRecord> {
         self.records
             .iter()
-            .find(|r| r.scheme == scheme && r.workload == workload)
+            .find(|r| r.scheme == scheme && &r.workload == workload)
     }
 
     /// The record with the given label, if any.
@@ -437,7 +445,7 @@ fn summary_from_json_object(object: &str) -> Option<RunSummary> {
     Some(RunSummary {
         label: json_field(object, "label")?,
         scheme: Scheme::from_name(&json_field(object, "scheme")?)?,
-        workload: Workload::from_name(&json_field(object, "workload")?)?,
+        workload: WorkloadSpec::from_name(&json_field(object, "workload")?)?,
         prefetch_length: json_field(object, "prefetch_length")?.parse().ok()?,
         oram_requests: json_field(object, "oram_requests")?.parse().ok()?,
         workload_accesses: json_field(object, "workload_accesses")?.parse().ok()?,

@@ -65,7 +65,10 @@ pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Ve
                 }
             };
             Fig03Row {
-                workload: record.workload,
+                workload: record
+                    .workload
+                    .as_table2()
+                    .expect("the Fig. 3 grid is built from Table II workloads"),
                 bandwidth_utilization: m.dram.bandwidth_utilization(),
                 sync_fraction: m.sync_stall_cycles as f64 / m.cycles.max(1) as f64,
                 sync_share_by_level: [share(0), share(1), share(2)],

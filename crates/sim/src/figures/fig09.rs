@@ -67,7 +67,10 @@ pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Ve
             let mut latency = Summary::new();
             latency.extend(m.latencies.iter().map(|&l| l as f64));
             Fig09Row {
-                workload: record.workload,
+                workload: record
+                    .workload
+                    .as_table2()
+                    .expect("the Fig. 9 grid is built from Table II workloads"),
                 row_hit_rate: m.dram.row_hit_rate(),
                 bank_conflict_rate: m.dram.bank_conflict_rate(),
                 mutual_information,

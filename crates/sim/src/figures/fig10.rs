@@ -79,7 +79,7 @@ pub fn run_with(
         let target = (0..workloads.len())
             .flat_map(|r| (0..schemes.len()).map(move |c| (r, c)))
             .find(|&(r, c)| {
-                workloads[r] == record.workload
+                record.workload.as_table2() == Some(workloads[r])
                     && schemes[c] == record.scheme
                     && cells[r][c].is_none()
             });

@@ -46,7 +46,10 @@ pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Ve
     Ok(results
         .iter()
         .map(|record| Fig12Row {
-            workload: record.workload,
+            workload: record
+                .workload
+                .as_table2()
+                .expect("the Fig. 12 grid is built from Table II workloads"),
             samples: record.metrics.stash_samples.clone(),
             high_water: record.metrics.stash_high_water,
             capacity: config.stash_capacity,

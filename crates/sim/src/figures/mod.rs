@@ -1,4 +1,5 @@
-//! Experiment runners: one module per table/figure of the paper's evaluation.
+//! Experiment runners: one module per table/figure of the paper's
+//! evaluation, plus runners that go beyond the paper ([`tenant_mix`]).
 //!
 //! Every module exposes a `run` function returning structured rows and a
 //! `table` function rendering them in the layout the paper uses, so the
@@ -19,6 +20,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod tenant_mix;
 
 use palermo_workloads::Workload;
 

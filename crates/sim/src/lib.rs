@@ -19,7 +19,10 @@ pub use experiment::{
     Executor, Experiment, ResultSet, RunRecord, RunSpec, SerialExecutor, ThreadPoolExecutor,
 };
 pub use runner::{
-    run_workload, run_workload_stepped, EventStepper, ReferenceStepper, RunMetrics, Stepper,
+    run_workload, run_workload_spec, run_workload_spec_stepped, run_workload_stepped, EventStepper,
+    ReferenceStepper, RunMetrics, Stepper,
 };
 pub use schemes::Scheme;
 pub use system::SystemConfig;
+// Re-exported so experiment code can name specs without a second import.
+pub use palermo_workloads::WorkloadSpec;

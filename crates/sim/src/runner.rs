@@ -33,7 +33,7 @@ use palermo_oram::crypto::Payload;
 use palermo_oram::error::{OramError, OramResult};
 use palermo_oram::hierarchy::HierarchicalOram;
 use palermo_oram::types::{OramOp, PhysAddr};
-use palermo_workloads::{Llc, Workload};
+use palermo_workloads::{Llc, Workload, WorkloadSpec};
 
 /// Controller clock frequency in Hz (Table III: 1.6 GHz, shared with the
 /// DRAM command clock).
@@ -44,8 +44,9 @@ pub const CLOCK_HZ: f64 = 1.6e9;
 pub struct RunMetrics {
     /// The scheme that was simulated.
     pub scheme: Scheme,
-    /// The workload that drove it.
-    pub workload: Workload,
+    /// The workload spec that drove it (a Table II workload, a trace
+    /// replay, or a multi-tenant mix).
+    pub workload: WorkloadSpec,
     /// Real (non-dummy) ORAM requests completed in the measured window.
     pub oram_requests: u64,
     /// Workload memory accesses consumed in the measured window (LLC hits
@@ -273,6 +274,23 @@ pub fn run_workload(
     run_workload_stepped(scheme, workload, config, &EventStepper)
 }
 
+/// Simulates one (scheme, workload spec) pair under the given
+/// configuration. This is the open-surface generalisation of
+/// [`run_workload`]: the spec may be a Table II workload (identical to the
+/// fast path), a trace-file replay, or a multi-tenant mix.
+///
+/// # Errors
+///
+/// Propagates protocol-configuration errors and workload-spec build errors
+/// (e.g. a missing or malformed trace file).
+pub fn run_workload_spec(
+    scheme: Scheme,
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+) -> OramResult<RunMetrics> {
+    run_workload_spec_stepped(scheme, spec, config, &EventStepper)
+}
+
 /// Simulates a run with explicitly supplied protocol and controller
 /// configurations. This is the entry point used by experiments that need a
 /// variant outside the standard [`Scheme`] set (e.g. PrORAM without the fat
@@ -290,11 +308,35 @@ pub fn run_with_configs(
     config: &SystemConfig,
     prefetch_length: u32,
 ) -> OramResult<RunMetrics> {
-    run_with_configs_stepped(
+    run_with_configs_spec_stepped(
         scheme,
         hierarchy_cfg,
         controller_cfg,
-        workload,
+        &WorkloadSpec::Table2(workload),
+        config,
+        prefetch_length,
+        &EventStepper,
+    )
+}
+
+/// [`run_with_configs`] over an arbitrary [`WorkloadSpec`].
+///
+/// # Errors
+///
+/// Propagates protocol-configuration and workload-spec build errors.
+pub fn run_with_configs_spec(
+    scheme: Scheme,
+    hierarchy_cfg: palermo_oram::hierarchy::HierarchyConfig,
+    controller_cfg: palermo_controller::ControllerConfig,
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    prefetch_length: u32,
+) -> OramResult<RunMetrics> {
+    run_with_configs_spec_stepped(
+        scheme,
+        hierarchy_cfg,
+        controller_cfg,
+        spec,
         config,
         prefetch_length,
         &EventStepper,
@@ -315,11 +357,28 @@ pub fn run_workload_stepped(
     config: &SystemConfig,
     stepper: &dyn Stepper,
 ) -> OramResult<RunMetrics> {
+    run_workload_spec_stepped(scheme, &WorkloadSpec::Table2(workload), config, stepper)
+}
+
+/// [`run_workload_spec`] with an explicit clock-advance strategy. Prefetch-
+/// capable schemes resolve their prefetch length from the spec
+/// ([`WorkloadSpec::default_prefetch_length`]) unless
+/// [`SystemConfig::prefetch_override`] is set.
+///
+/// # Errors
+///
+/// Propagates protocol-configuration and workload-spec build errors.
+pub fn run_workload_spec_stepped(
+    scheme: Scheme,
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    stepper: &dyn Stepper,
+) -> OramResult<RunMetrics> {
     let params = config.hierarchy_params()?;
     let prefetch_length = if scheme.uses_prefetch() {
         config
             .prefetch_override
-            .unwrap_or_else(|| workload.default_prefetch_length())
+            .unwrap_or_else(|| spec.default_prefetch_length())
             .max(1)
     } else {
         1
@@ -327,11 +386,11 @@ pub fn run_workload_stepped(
     let hierarchy_cfg =
         scheme.hierarchy_config(params, config.seed, prefetch_length, config.stash_capacity)?;
     let controller_cfg = scheme.controller_config(config.pe_columns);
-    run_with_configs_stepped(
+    run_with_configs_spec_stepped(
         scheme,
         hierarchy_cfg,
         controller_cfg,
-        workload,
+        spec,
         config,
         prefetch_length,
         stepper,
@@ -343,7 +402,6 @@ pub fn run_workload_stepped(
 /// # Errors
 ///
 /// Propagates protocol-configuration errors.
-#[allow(clippy::too_many_lines)]
 pub fn run_with_configs_stepped(
     scheme: Scheme,
     hierarchy_cfg: palermo_oram::hierarchy::HierarchyConfig,
@@ -353,14 +411,63 @@ pub fn run_with_configs_stepped(
     prefetch_length: u32,
     stepper: &dyn Stepper,
 ) -> OramResult<RunMetrics> {
+    run_with_configs_spec_stepped(
+        scheme,
+        hierarchy_cfg,
+        controller_cfg,
+        &WorkloadSpec::Table2(workload),
+        config,
+        prefetch_length,
+        stepper,
+    )
+}
+
+/// The fully general simulation entry point: explicit protocol/controller
+/// configurations, an arbitrary [`WorkloadSpec`], and an explicit
+/// clock-advance strategy. Everything else in this module lowers to this
+/// function.
+///
+/// # Errors
+///
+/// Propagates protocol-configuration and workload-spec build errors.
+#[allow(clippy::too_many_lines)]
+pub fn run_with_configs_spec_stepped(
+    scheme: Scheme,
+    hierarchy_cfg: palermo_oram::hierarchy::HierarchyConfig,
+    controller_cfg: palermo_controller::ControllerConfig,
+    spec: &WorkloadSpec,
+    config: &SystemConfig,
+    prefetch_length: u32,
+    stepper: &dyn Stepper,
+) -> OramResult<RunMetrics> {
     let mut oram = HierarchicalOram::new(hierarchy_cfg)?;
     let mut controller = OramController::new(controller_cfg);
     let mut dram = DramSystem::new(config.dram);
     let mut llc = Llc::new(config.llc);
-    let mut stream = workload.build(
+    let mut stream = spec.build(
         config.workload_footprint.min(config.protected_bytes),
         config.seed ^ 0xF00D,
-    );
+    )?;
+
+    // Table II generators scale themselves to the footprint hint, but the
+    // data-driven specs cannot: a replay's footprint is whatever the trace
+    // recorded, and a mix's is the sum of its tenants. If such a stream
+    // overruns the protected space the modulo below would silently wrap it,
+    // aliasing tenant partitions / destroying the trace's locality while
+    // reporting metrics as if it ran faithfully — reject instead.
+    if !matches!(spec, WorkloadSpec::Table2(_)) {
+        let footprint = stream.footprint_bytes();
+        if footprint > config.protected_bytes {
+            return Err(OramError::InvalidParams {
+                reason: format!(
+                    "workload spec '{spec}' needs a {footprint}-byte footprint but only \
+{} bytes are protected; addresses would wrap and alias (shrink the trace/mix \
+or raise protected_bytes)",
+                    config.protected_bytes
+                ),
+            });
+        }
+    }
 
     let protected_lines = config.protected_bytes / 64;
     let total_requests = config.total_requests();
@@ -383,7 +490,7 @@ pub fn run_with_configs_stepped(
 
     let mut metrics = RunMetrics {
         scheme,
-        workload,
+        workload: spec.clone(),
         oram_requests: 0,
         workload_accesses: 0,
         dummy_requests: 0,
@@ -696,7 +803,7 @@ mod tests {
     fn metrics_empty_helpers_are_safe() {
         let m = RunMetrics {
             scheme: Scheme::Palermo,
-            workload: Workload::Random,
+            workload: WorkloadSpec::Table2(Workload::Random),
             oram_requests: 0,
             workload_accesses: 0,
             dummy_requests: 0,

@@ -11,18 +11,30 @@
 //! *memory-access structure* of its application class instead — see
 //! `DESIGN.md` for the substitution argument. All generators are seeded and
 //! deterministic.
+//!
+//! Beyond the closed Table II set, [`WorkloadSpec`] opens the workload
+//! surface: replay a recorded trace file ([`replay`], [`mod@format`]) or
+//! compose several streams into a multi-tenant mix ([`mix`]), all behind
+//! one buildable, name-round-trippable spec type.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod format;
 pub mod generators;
 pub mod graph;
 pub mod llc;
+pub mod mix;
+pub mod replay;
+pub mod spec;
 pub mod trace;
 pub mod workload;
 pub mod zipf;
 
 pub use llc::{Llc, LlcConfig};
+pub use mix::{MixSpec, MixStream, TenantSelection, TenantSpec};
+pub use replay::TraceReplay;
+pub use spec::{ReplaySpec, WorkloadSpec};
 pub use trace::{AccessStream, TraceEntry, TraceProfile};
 pub use workload::Workload;
 pub use zipf::Zipf;

@@ -35,10 +35,23 @@ impl LlcConfig {
         self.capacity_bytes / u64::from(self.ways) / u64::from(self.line_bytes)
     }
 
-    /// Validates that the geometry is consistent (power-of-two set count).
+    /// Validates that the geometry is consistent: the capacity must divide
+    /// exactly into `ways × line_bytes` rows and imply a power-of-two set
+    /// count.
     pub fn validate(&self) -> Result<(), String> {
         if self.ways == 0 || self.line_bytes == 0 {
             return Err("ways and line size must be non-zero".into());
+        }
+        // A capacity that is not a multiple of ways x line size used to be
+        // accepted silently: integer division rounded the set count down,
+        // modelling a smaller cache than configured.
+        let row_bytes = u64::from(self.ways) * u64::from(self.line_bytes);
+        if !self.capacity_bytes.is_multiple_of(row_bytes) {
+            return Err(format!(
+                "capacity {} B is not a multiple of ways x line size ({row_bytes} B); \
+the truncated geometry would silently model a smaller cache",
+                self.capacity_bytes
+            ));
         }
         let sets = self.sets();
         if sets == 0 || !sets.is_power_of_two() {
@@ -220,5 +233,29 @@ mod tests {
             ways: 3,
             line_bytes: 64,
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of ways x line size")]
+    fn truncating_capacity_is_rejected() {
+        // Regression: 520 B over 2 ways of 64 B lines rounds down to 4 sets
+        // (a power of two!), so the old validation accepted a geometry that
+        // silently modelled a 512 B cache.
+        Llc::new(LlcConfig {
+            capacity_bytes: 520,
+            ways: 2,
+            line_bytes: 64,
+        });
+    }
+
+    #[test]
+    fn exact_geometry_still_validates() {
+        assert!(LlcConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        }
+        .validate()
+        .is_ok());
     }
 }

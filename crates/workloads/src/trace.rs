@@ -52,8 +52,10 @@ pub struct TraceProfile {
     pub accesses: u64,
     /// Fraction of accesses that are writes.
     pub write_fraction: f64,
-    /// Fraction of accesses whose cache line equals the previous access's
-    /// line plus one (a crude spatial-locality indicator).
+    /// Fraction of *transitions* whose cache line equals the previous
+    /// access's line plus one (a crude spatial-locality indicator). The
+    /// first access has no predecessor, so the denominator is `n - 1`: a
+    /// perfectly sequential stream scores exactly 1.0.
     pub sequential_fraction: f64,
     /// Number of distinct 64-byte lines touched.
     pub distinct_lines: u64,
@@ -72,7 +74,10 @@ pub fn profile(stream: &mut dyn AccessStream, n: u64) -> TraceProfile {
         if e.op == OramOp::Write {
             writes += 1;
         }
-        if prev_line == Some(line.wrapping_sub(1)) {
+        // `checked_sub` (not `wrapping_sub`) so line 0 never matches a
+        // predecessor; the explicit `is_some` guard keeps a leading line-0
+        // access from comparing `None == None`.
+        if prev_line.is_some() && prev_line == line.checked_sub(1) {
             sequential += 1;
         }
         prev_line = Some(line);
@@ -85,10 +90,13 @@ pub fn profile(stream: &mut dyn AccessStream, n: u64) -> TraceProfile {
         } else {
             writes as f64 / n as f64
         },
-        sequential_fraction: if n == 0 {
+        // The first access can never be sequential, so the denominator is
+        // the number of transitions, not the number of accesses — dividing
+        // by `n` capped a perfectly sequential stream at (n-1)/n.
+        sequential_fraction: if n <= 1 {
             0.0
         } else {
-            sequential as f64 / n as f64
+            sequential as f64 / (n - 1) as f64
         },
         distinct_lines: lines.len() as u64,
     }
@@ -129,7 +137,9 @@ mod tests {
         let p = profile(&mut s, 1000);
         assert_eq!(p.accesses, 1000);
         assert!((p.write_fraction - 0.25).abs() < 1e-9);
-        assert!(p.sequential_fraction > 0.99);
+        // Regression: with `n` as the denominator a perfectly sequential
+        // stream could only reach (n-1)/n.
+        assert_eq!(p.sequential_fraction, 1.0);
         assert_eq!(p.distinct_lines, 1000);
     }
 
@@ -138,5 +148,35 @@ mod tests {
         let mut s = Counter { next: 0 };
         let p = profile(&mut s, 0);
         assert_eq!(p, TraceProfile::default());
+    }
+
+    #[test]
+    fn single_access_has_no_sequential_transition() {
+        let mut s = Counter { next: 0 };
+        let p = profile(&mut s, 1);
+        assert_eq!(p.accesses, 1);
+        assert_eq!(p.sequential_fraction, 0.0);
+    }
+
+    #[test]
+    fn leading_line_zero_access_is_not_sequential() {
+        // Regression companion to the `wrapping_sub` fix: the first access
+        // (line 0 included) has no predecessor and must not count, and a
+        // jump *to* line 0 must not match via wrap-around.
+        struct Fixed(Vec<u64>, usize);
+        impl AccessStream for Fixed {
+            fn next_access(&mut self) -> TraceEntry {
+                let e = TraceEntry::read(self.0[self.1]);
+                self.1 += 1;
+                e
+            }
+            fn footprint_bytes(&self) -> u64 {
+                1 << 30
+            }
+        }
+        // Lines: 0, 1000, 0, 1 — exactly one sequential transition (0 -> 1).
+        let mut s = Fixed(vec![0, 64_000, 0, 64], 0);
+        let p = profile(&mut s, 4);
+        assert!((p.sequential_fraction - 1.0 / 3.0).abs() < 1e-12);
     }
 }

@@ -26,12 +26,23 @@ impl Zipf {
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
+        // For n <= 2 the Gray et al. denominator `1 - zeta(2)/zeta(n)` is
+        // exactly zero (zeta(2.min(n)) == zeta(n)), which used to produce a
+        // NaN/inf eta — latent only because `sample` short-circuits those
+        // populations before touching eta. Define eta as 0 there instead so
+        // the sampler state is finite for every valid population.
+        let eta_denominator = 1.0 - zeta2 / zetan;
+        let eta = if eta_denominator == 0.0 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / eta_denominator
+        };
         Zipf {
             n,
             theta,
             alpha: 1.0 / (1.0 - theta),
             zetan,
-            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            eta,
         }
     }
 
@@ -77,10 +88,54 @@ impl Zipf {
 
 /// Scrambles a rank into a stable pseudo-random item id so the hottest items
 /// are not clustered at the low end of the address space.
+///
+/// The mapping is a true bijection on `[0, n)`: a two-round Feistel network
+/// over the enclosing power-of-two domain, cycle-walked back into `[0, n)`
+/// (each walk step applies the same permutation, so distinct ranks can never
+/// collide). The previous multiply-shift-modulo "roughly bijective" mapping
+/// collided heavily, silently merging distinct hot ranks into one address
+/// and shrinking the effective footprint of every Zipf-backed generator.
+///
+/// # Panics
+///
+/// Panics if `n` is zero. Ranks outside `[0, n)` are first folded into the
+/// enclosing power-of-two domain (callers always pass `rank < n`).
 pub fn scramble(rank: u64, n: u64) -> u64 {
-    // Fibonacci hashing followed by a modulo keeps the mapping stable and
-    // roughly bijective for the populations used here.
-    (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % n
+    assert!(n > 0, "scramble population must be non-zero");
+    debug_assert!(rank < n, "rank {rank} outside population {n}");
+    if n == 1 {
+        return 0;
+    }
+    // Enclosing power-of-two domain 2^bits >= n (bits >= 1).
+    let bits = 64 - (n - 1).leading_zeros();
+    let domain_mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let right_bits = bits - bits / 2; // low half, >= high half
+    let right_mask = (1u64 << right_bits) - 1;
+    let left_mask = domain_mask >> right_bits;
+    let mix = |x: u64, c: u64| -> u64 {
+        let mut z = x.wrapping_add(c).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 29;
+        z.wrapping_mul(0x94D0_49BB_1331_11EB)
+    };
+    let mut x = rank & domain_mask;
+    loop {
+        // Two unbalanced Feistel rounds: each XOR-step is invertible given
+        // the untouched half, so the whole round pair permutes the domain.
+        let mut left = x >> right_bits;
+        let mut right = x & right_mask;
+        right ^= mix(left, 0x9E37_79B9_7F4A_7C15) & right_mask;
+        left ^= mix(right, 0xD1B5_4A32_D192_ED03) & left_mask;
+        x = (left << right_bits) | right;
+        // Cycle-walk: 2^bits < 2n, so this loops back into [0, n) after
+        // fewer than two iterations in expectation.
+        if x < n {
+            return x;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +188,28 @@ mod tests {
     }
 
     #[test]
+    fn tiny_populations_have_finite_state_and_sane_samples() {
+        // Regression: `Zipf::new(1, θ)` used to compute eta as x / 0 = NaN
+        // (and n = 2 as 0 / 0), latent only because `sample` short-circuits
+        // those populations. The state must be finite for every valid n.
+        for n in [1u64, 2, 3, 4] {
+            for theta in [0.0, 0.5, 0.9, 0.99] {
+                let z = Zipf::new(n, theta);
+                assert!(
+                    z.eta.is_finite(),
+                    "eta not finite for n={n} theta={theta}: {}",
+                    z.eta
+                );
+                assert!(z.zetan.is_finite());
+                let mut rng = OramRng::new(n ^ 0xBEEF);
+                for _ in 0..1000 {
+                    assert!(z.sample(&mut rng) < n, "n={n} theta={theta}");
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "theta")]
     fn theta_one_rejected() {
         Zipf::new(10, 1.0);
@@ -153,5 +230,45 @@ mod tests {
             seen_high,
             "scramble should spread hot ranks across the space"
         );
+    }
+
+    #[test]
+    fn scramble_is_injective_over_the_hot_prefix() {
+        use std::collections::HashSet;
+        // Regression: the old multiply-shift-modulo mapping collided
+        // heavily (merging distinct hot ranks into one address). The first
+        // min(n, 10^5) ranks must map injectively for power-of-two and
+        // ragged populations alike.
+        for n in [
+            1u64,
+            2,
+            3,
+            64,
+            1000,
+            12_345,
+            1 << 17,
+            (1 << 17) + 1,
+            1 << 40,
+        ] {
+            let probe = n.min(100_000);
+            let mut seen = HashSet::with_capacity(probe as usize);
+            for rank in 0..probe {
+                let s = scramble(rank, n);
+                assert!(s < n, "scramble({rank}, {n}) = {s} out of range");
+                assert!(
+                    seen.insert(s),
+                    "scramble({rank}, {n}) = {s} collides with an earlier rank"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_is_a_full_permutation_on_small_populations() {
+        use std::collections::HashSet;
+        for n in [1u64, 2, 5, 8, 129, 4096] {
+            let image: HashSet<u64> = (0..n).map(|r| scramble(r, n)).collect();
+            assert_eq!(image.len() as u64, n, "n={n}");
+        }
     }
 }
