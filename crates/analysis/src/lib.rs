@@ -17,7 +17,7 @@ pub mod mutual_info;
 pub mod report;
 pub mod stats;
 
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LatencyHistogram};
 pub use mutual_info::{estimate_from_samples, ObservationProbabilities};
 pub use report::Table;
 pub use stats::{geometric_mean, median, quantile, Summary};

@@ -20,6 +20,18 @@ fn bench(c: &mut Criterion) {
     group.bench_function("ringoram_random", |b| {
         b.iter(|| run_workload(Scheme::RingOram, Workload::Random, &cfg).expect("run"));
     });
+    // Identical simulation with per-tenant attribution disabled: the CI
+    // perf-baseline step compares this against `ringoram_mcf` to assert
+    // what tenant attribution costs the single-tenant Table II fast path
+    // (the per-pull flag check, per-request tenant bookkeeping and
+    // histogram updates at completion) stays under 5%. Single-tenant
+    // streams never take the tagged-pull dispatch (`pull_tags` in the
+    // runner), so that cost is multi-tenant-only by construction.
+    let mut untagged_cfg = cfg;
+    untagged_cfg.collect_per_tenant = false;
+    group.bench_function("ringoram_mcf_untagged", |b| {
+        b.iter(|| run_workload(Scheme::RingOram, Workload::Mcf, &untagged_cfg).expect("run"));
+    });
     group.finish();
 }
 

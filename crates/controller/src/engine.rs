@@ -116,6 +116,10 @@ pub struct FinishedRequest {
     pub finished_at: u64,
     /// Whether the request was a controller-injected dummy.
     pub is_dummy: bool,
+    /// DRAM bursts (reads + writes) issued on behalf of this request —
+    /// the request's share of memory demand, used by the per-tenant
+    /// attribution in the simulator.
+    pub dram_ops: u64,
 }
 
 impl FinishedRequest {
@@ -187,6 +191,8 @@ struct InflightRequest {
     /// Lowest node index that may still have memory operations to issue;
     /// per-node pending work is monotone, so the drained prefix is skipped.
     pending_cursor: u16,
+    /// DRAM bursts issued so far on behalf of this request.
+    dram_ops: u64,
 }
 
 impl InflightRequest {
@@ -395,6 +401,7 @@ impl OramController {
             countdown: Vec::new(),
             incomplete,
             pending_cursor: 0,
+            dram_ops: 0,
         };
         for i in 0..req.nodes.len() {
             req.track_countdown(i);
@@ -592,6 +599,7 @@ impl OramController {
                     }
                     self.next_dram_id += 1;
                     issued_this_cycle += 1;
+                    req.dram_ops += 1;
                     if is_write {
                         node.writes_issued += 1;
                         self.stats.dram_writes_issued += 1;
@@ -658,6 +666,7 @@ impl OramController {
                     submitted_at: req.submitted_at,
                     finished_at: cycle,
                     is_dummy: req.plan.is_dummy,
+                    dram_ops: req.dram_ops,
                 });
             } else {
                 idx += 1;
@@ -865,6 +874,25 @@ mod tests {
         assert!(finished[0].latency() > 0);
         assert_eq!(ctrl.stats().requests_finished, 1);
         assert_eq!(ctrl.inflight(), 0);
+        // Every burst the controller issued belongs to the one request.
+        assert_eq!(finished[0].dram_ops, ctrl.stats().issued_ops);
+        assert!(finished[0].dram_ops > 0);
+    }
+
+    #[test]
+    fn per_request_dram_ops_sum_to_the_issue_counters() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_3200_quad_channel());
+        let mut ctrl = OramController::new(ControllerConfig::palermo_sw_default());
+        let plans: Vec<AccessPlan> = (0..6).map(|i| simple_plan(i, i % 3, 4)).collect();
+        let finished = run_to_completion(&mut ctrl, &mut dram, plans, 500_000);
+        assert_eq!(finished.len(), 6);
+        let per_request: u64 = finished.iter().map(|f| f.dram_ops).sum();
+        assert_eq!(per_request, ctrl.stats().issued_ops);
+        assert_eq!(
+            per_request,
+            ctrl.stats().dram_reads_issued + ctrl.stats().dram_writes_issued
+        );
+        assert!(finished.iter().all(|f| f.dram_ops > 0));
     }
 
     #[test]

@@ -21,6 +21,35 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
+    /// The per-tenant summaries of this record, one per tenant in tenant
+    /// order (empty when the run was executed with per-tenant attribution
+    /// disabled).
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        self.metrics
+            .per_tenant
+            .iter()
+            .map(|t| TenantSummary {
+                label: self.label.clone(),
+                scheme: self.scheme,
+                workload: self.workload.clone(),
+                tenant: t.tenant,
+                tenant_workload: self
+                    .workload
+                    .tenant_workload_name(t.tenant as usize)
+                    .unwrap_or_default(),
+                submitted: t.submitted,
+                completed: t.completed,
+                workload_accesses: t.workload_accesses,
+                mean_latency: t.mean_latency(),
+                p50_latency: t.p50_latency(),
+                p95_latency: t.p95_latency(),
+                p99_latency: t.p99_latency(),
+                dram_ops: t.dram_ops,
+                dram_share: self.metrics.tenant_dram_share(t.tenant as usize),
+            })
+            .collect()
+    }
+
     /// The scalar summary of this record used by the CSV/JSON exports.
     pub fn summary(&self) -> RunSummary {
         RunSummary {
@@ -156,6 +185,139 @@ bandwidth_utilization,sync_stall_cycles";
             self.sync_stall_cycles,
         )
     }
+}
+
+/// One tenant's scalar QoS summary of one run, exported to the per-tenant
+/// CSV/JSON documents ([`ResultSet::to_tenant_csv`] /
+/// [`ResultSet::to_tenant_json`]) and parsed back by the round-trip
+/// helpers. One run contributes one row per tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// The run's label (commas become `;` in CSV output).
+    pub label: String,
+    /// The scheme.
+    pub scheme: Scheme,
+    /// The workload spec of the whole run (canonical name in the exports).
+    pub workload: WorkloadSpec,
+    /// Tenant index within the spec.
+    pub tenant: u32,
+    /// Canonical name of the tenant's child workload (= the spec name for
+    /// single-tenant runs).
+    pub tenant_workload: String,
+    /// Real requests submitted while the measured window was open.
+    pub submitted: u64,
+    /// Real requests completed inside the measured window.
+    pub completed: u64,
+    /// Workload accesses consumed by the completed requests.
+    pub workload_accesses: u64,
+    /// Mean response latency in cycles.
+    pub mean_latency: f64,
+    /// Median latency estimate in cycles.
+    pub p50_latency: u64,
+    /// 95th-percentile latency estimate in cycles.
+    pub p95_latency: u64,
+    /// 99th-percentile tail latency estimate in cycles.
+    pub p99_latency: u64,
+    /// DRAM bursts issued for the tenant's completed requests.
+    pub dram_ops: u64,
+    /// The tenant's share of all tenant-attributed DRAM bursts in the run.
+    pub dram_share: f64,
+}
+
+impl TenantSummary {
+    /// The CSV header row matching [`TenantSummary::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "label,scheme,workload,tenant,tenant_workload,\
+submitted,completed,workload_accesses,mean_latency,p50_latency,p95_latency,p99_latency,\
+dram_ops,dram_share";
+
+    /// Renders one CSV data row (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            sanitize_csv(&self.label),
+            self.scheme,
+            sanitize_csv(&self.workload.name()),
+            self.tenant,
+            sanitize_csv(&self.tenant_workload),
+            self.submitted,
+            self.completed,
+            self.workload_accesses,
+            self.mean_latency,
+            self.p50_latency,
+            self.p95_latency,
+            self.p99_latency,
+            self.dram_ops,
+            self.dram_share,
+        )
+    }
+
+    /// Parses one CSV data row produced by [`TenantSummary::to_csv_row`].
+    /// Returns `None` on a malformed row or an unknown scheme/workload name.
+    pub fn from_csv_row(row: &str) -> Option<TenantSummary> {
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 14 {
+            return None;
+        }
+        Some(TenantSummary {
+            label: fields[0].to_string(),
+            scheme: Scheme::from_name(fields[1])?,
+            workload: WorkloadSpec::from_name(fields[2])?,
+            tenant: fields[3].parse().ok()?,
+            tenant_workload: fields[4].to_string(),
+            submitted: fields[5].parse().ok()?,
+            completed: fields[6].parse().ok()?,
+            workload_accesses: fields[7].parse().ok()?,
+            mean_latency: fields[8].parse().ok()?,
+            p50_latency: fields[9].parse().ok()?,
+            p95_latency: fields[10].parse().ok()?,
+            p99_latency: fields[11].parse().ok()?,
+            dram_ops: fields[12].parse().ok()?,
+            dram_share: fields[13].parse().ok()?,
+        })
+    }
+
+    /// Renders this summary as one flat JSON object.
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\"tenant\":{},\
+\"tenant_workload\":\"{}\",\"submitted\":{},\"completed\":{},\"workload_accesses\":{},\
+\"mean_latency\":{},\"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\
+\"dram_ops\":{},\"dram_share\":{}}}",
+            escape_json(&self.label),
+            self.scheme,
+            escape_json(&self.workload.name()),
+            self.tenant,
+            escape_json(&self.tenant_workload),
+            self.submitted,
+            self.completed,
+            self.workload_accesses,
+            self.mean_latency,
+            self.p50_latency,
+            self.p95_latency,
+            self.p99_latency,
+            self.dram_ops,
+            self.dram_share,
+        )
+    }
+}
+
+fn tenant_summary_from_json_object(object: &str) -> Option<TenantSummary> {
+    Some(TenantSummary {
+        label: json_field(object, "label")?,
+        scheme: Scheme::from_name(&json_field(object, "scheme")?)?,
+        workload: WorkloadSpec::from_name(&json_field(object, "workload")?)?,
+        tenant: json_field(object, "tenant")?.parse().ok()?,
+        tenant_workload: json_field(object, "tenant_workload")?,
+        submitted: json_field(object, "submitted")?.parse().ok()?,
+        completed: json_field(object, "completed")?.parse().ok()?,
+        workload_accesses: json_field(object, "workload_accesses")?.parse().ok()?,
+        mean_latency: json_field(object, "mean_latency")?.parse().ok()?,
+        p50_latency: json_field(object, "p50_latency")?.parse().ok()?,
+        p95_latency: json_field(object, "p95_latency")?.parse().ok()?,
+        p99_latency: json_field(object, "p99_latency")?.parse().ok()?,
+        dram_ops: json_field(object, "dram_ops")?.parse().ok()?,
+        dram_share: json_field(object, "dram_share")?.parse().ok()?,
+    })
 }
 
 /// Makes a label safe for one CSV cell: the separator becomes `;` and
@@ -343,6 +505,64 @@ impl ResultSet {
         }
         Some(summaries)
     }
+
+    /// The per-tenant summaries of every record, flattened in grid order
+    /// (record by record, tenants in tenant order within each record).
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        self.records
+            .iter()
+            .flat_map(RunRecord::tenant_summaries)
+            .collect()
+    }
+
+    /// Renders the per-tenant QoS table as CSV (header row first), one row
+    /// per (run, tenant).
+    pub fn to_tenant_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", TenantSummary::CSV_HEADER);
+        for summary in self.tenant_summaries() {
+            let _ = writeln!(out, "{}", summary.to_csv_row());
+        }
+        out
+    }
+
+    /// Parses CSV produced by [`ResultSet::to_tenant_csv`] back into
+    /// per-tenant summaries. Returns `None` on a malformed document.
+    pub fn parse_tenant_csv(csv: &str) -> Option<Vec<TenantSummary>> {
+        let mut lines = csv.lines();
+        if lines.next()? != TenantSummary::CSV_HEADER {
+            return None;
+        }
+        lines.map(TenantSummary::from_csv_row).collect()
+    }
+
+    /// Renders the per-tenant QoS table as a JSON array of flat objects.
+    pub fn to_tenant_json(&self) -> String {
+        let objects: Vec<String> = self
+            .tenant_summaries()
+            .iter()
+            .map(|s| format!("  {}", s.to_json_object()))
+            .collect();
+        if objects.is_empty() {
+            return "[]\n".to_string();
+        }
+        format!("[\n{}\n]\n", objects.join(",\n"))
+    }
+
+    /// Parses JSON produced by [`ResultSet::to_tenant_json`] back into
+    /// per-tenant summaries. Returns `None` on malformed input.
+    pub fn parse_tenant_json(json: &str) -> Option<Vec<TenantSummary>> {
+        let body = json.trim();
+        let body = body.strip_prefix('[')?.strip_suffix(']')?.trim();
+        if body.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut summaries = Vec::new();
+        for object in split_top_level_objects(body)? {
+            summaries.push(tenant_summary_from_json_object(&object)?);
+        }
+        Some(summaries)
+    }
 }
 
 impl<'a> IntoIterator for &'a ResultSet {
@@ -501,6 +721,61 @@ mod tests {
         let set = small_set();
         let parsed = ResultSet::parse_csv(&set.to_csv()).unwrap();
         assert_eq!(parsed, set.summaries());
+    }
+
+    fn mix_set() -> ResultSet {
+        use palermo_workloads::MixSpec;
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 20;
+        cfg.warmup_requests = 5;
+        let mix = WorkloadSpec::Mix(
+            MixSpec::round_robin()
+                .tenant(Workload::Redis.into(), 2)
+                .tenant(Workload::Llm.into(), 1),
+        );
+        Experiment::new(cfg)
+            .schemes([Scheme::Palermo])
+            .workload_specs([mix])
+            .run(&SerialExecutor)
+            .unwrap()
+    }
+
+    #[test]
+    fn tenant_csv_round_trips_exactly() {
+        let set = mix_set();
+        let summaries = set.tenant_summaries();
+        assert_eq!(summaries.len(), 2, "one row per tenant");
+        assert_eq!(summaries[0].tenant_workload, "redis");
+        assert_eq!(summaries[1].tenant_workload, "llm");
+        let parsed = ResultSet::parse_tenant_csv(&set.to_tenant_csv()).unwrap();
+        assert_eq!(parsed, summaries);
+    }
+
+    #[test]
+    fn tenant_json_round_trips_exactly() {
+        let set = mix_set();
+        let parsed = ResultSet::parse_tenant_json(&set.to_tenant_json()).unwrap();
+        assert_eq!(parsed, set.tenant_summaries());
+        // Single-tenant sets export one row per run, and empty sets parse.
+        let single = small_set();
+        assert_eq!(single.tenant_summaries().len(), single.len());
+        assert_eq!(ResultSet::parse_tenant_json("[]").unwrap(), Vec::new());
+        assert_eq!(
+            ResultSet::parse_tenant_json(&ResultSet::default().to_tenant_json()).unwrap(),
+            Vec::new()
+        );
+        assert!(ResultSet::parse_tenant_csv("nope\n1,2").is_none());
+    }
+
+    #[test]
+    fn tenant_shares_partition_the_dram_demand() {
+        let set = mix_set();
+        let record = &set.records()[0];
+        let shares: f64 = (0..record.metrics.per_tenant.len())
+            .map(|i| record.metrics.tenant_dram_share(i))
+            .sum();
+        assert!((shares - 1.0).abs() < 1e-12, "shares sum to {shares}");
+        assert!(record.metrics.tenant_conservation_ok());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Experiment runners: one module per table/figure of the paper's
-//! evaluation, plus runners that go beyond the paper ([`tenant_mix`]).
+//! evaluation, plus runners that go beyond the paper ([`tenant_mix`],
+//! [`tenant_qos`]).
 //!
 //! Every module exposes a `run` function returning structured rows and a
 //! `table` function rendering them in the layout the paper uses, so the
@@ -21,6 +22,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod tenant_mix;
+pub mod tenant_qos;
 
 use palermo_workloads::Workload;
 

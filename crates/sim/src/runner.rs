@@ -27,6 +27,7 @@
 
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
+use palermo_analysis::LatencyHistogram;
 use palermo_controller::OramController;
 use palermo_dram::{DramStats, DramSystem};
 use palermo_oram::crypto::Payload;
@@ -38,6 +39,85 @@ use palermo_workloads::{Llc, Workload, WorkloadSpec};
 /// Controller clock frequency in Hz (Table III: 1.6 GHz, shared with the
 /// DRAM command clock).
 pub const CLOCK_HZ: f64 = 1.6e9;
+
+/// Metrics attributed to one tenant of the workload stream over the
+/// measured window.
+///
+/// Attribution is at ORAM-request granularity: a request belongs to the
+/// tenant whose access missed the LLC and formed it (the LLC hits absorbed
+/// on the way ride along). Everything here is integer-accumulated, so two
+/// runs observing the same completions produce byte-identical values — the
+/// per-tenant determinism tests compare these vectors with `==` across
+/// executors and steppers. Controller-injected dummy requests belong to no
+/// tenant and only appear in the aggregate [`RunMetrics::dummy_requests`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// Tenant index within the workload spec (0-based).
+    pub tenant: u32,
+    /// Real ORAM requests of this tenant submitted to the controller while
+    /// the measured window was open — the tenant's *offered load* over the
+    /// window. Submission and completion windows overlap but do not nest
+    /// (requests submitted before the window opens may complete inside it,
+    /// and late submissions may still be in flight at run end), so this can
+    /// fall on either side of `completed`.
+    pub submitted: u64,
+    /// Real ORAM requests of this tenant completed inside the measured
+    /// window. Sums to [`RunMetrics::oram_requests`] across tenants.
+    pub completed: u64,
+    /// Workload accesses consumed by this tenant's completed requests.
+    /// Sums to [`RunMetrics::workload_accesses`] across tenants.
+    pub workload_accesses: u64,
+    /// Fixed-bucket latency histogram (mean/p50/p95/p99 source; its exact
+    /// running sum doubles as the tenant's latency total, which sums to the
+    /// aggregate latency total across tenants).
+    pub latency: LatencyHistogram,
+    /// DRAM bursts issued on behalf of this tenant's completed requests —
+    /// the tenant's memory-demand share (who occupies the DRAM, and thereby
+    /// who stalls whom).
+    pub dram_ops: u64,
+}
+
+impl TenantMetrics {
+    /// An empty accumulator for tenant `tenant`.
+    pub fn new(tenant: u32) -> Self {
+        TenantMetrics {
+            tenant,
+            submitted: 0,
+            completed: 0,
+            workload_accesses: 0,
+            latency: LatencyHistogram::new(),
+            dram_ops: 0,
+        }
+    }
+
+    /// Mean ORAM response latency in cycles (exact, from the histogram's
+    /// running sum).
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Median latency estimate in cycles.
+    pub fn p50_latency(&self) -> u64 {
+        self.latency.p50()
+    }
+
+    /// 95th-percentile latency estimate in cycles.
+    pub fn p95_latency(&self) -> u64 {
+        self.latency.p95()
+    }
+
+    /// 99th-percentile tail latency estimate in cycles.
+    pub fn p99_latency(&self) -> u64 {
+        self.latency.p99()
+    }
+
+    fn record_completion(&mut self, latency: u64, accesses: u64, dram_ops: u64) {
+        self.completed += 1;
+        self.workload_accesses += accesses;
+        self.latency.record(latency);
+        self.dram_ops += dram_ops;
+    }
+}
 
 /// Metrics collected over the measured window of one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +167,18 @@ pub struct RunMetrics {
     pub llc_hit_rate: f64,
     /// Prefetch length the scheme ran with (1 = no prefetching).
     pub prefetch_length: u32,
+    /// Real ORAM requests submitted while the measured window was open —
+    /// the offered load over the window (requests straddling either window
+    /// edge make this differ from [`RunMetrics::oram_requests`] in both
+    /// directions).
+    pub submitted_requests: u64,
+    /// Per-tenant attribution of the measured window, indexed by tenant id
+    /// (length = the spec's tenant count; single-tenant specs have exactly
+    /// one entry). Empty when [`SystemConfig::collect_per_tenant`] is off.
+    /// Conservation holds by construction: per-tenant `submitted`,
+    /// `completed`, `workload_accesses` and latency totals each sum to the
+    /// corresponding aggregate ([`RunMetrics::tenant_conservation_ok`]).
+    pub per_tenant: Vec<TenantMetrics>,
 }
 
 impl RunMetrics {
@@ -132,6 +224,41 @@ impl RunMetrics {
         }
         self.dummy_requests as f64 / total as f64
     }
+
+    /// Tenant `i`'s share of the DRAM bursts issued for completed real
+    /// requests in the window (0 when nothing was attributed or `i` is out
+    /// of range) — the "who occupies the DRAM" answer behind per-tenant
+    /// interference analysis.
+    pub fn tenant_dram_share(&self, i: usize) -> f64 {
+        let total: u64 = self.per_tenant.iter().map(|t| t.dram_ops).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.per_tenant
+            .get(i)
+            .map_or(0.0, |t| t.dram_ops as f64 / total as f64)
+    }
+
+    /// Checks the per-tenant conservation invariant: when per-tenant
+    /// attribution ran, the per-tenant `submitted`/`completed`/
+    /// `workload_accesses`/latency sums/histogram counts must sum exactly
+    /// to the aggregates. Trivially `true` when attribution was off.
+    pub fn tenant_conservation_ok(&self) -> bool {
+        if self.per_tenant.is_empty() {
+            return true;
+        }
+        let sum = |f: fn(&TenantMetrics) -> u64| -> u64 { self.per_tenant.iter().map(f).sum() };
+        sum(|t| t.completed) == self.oram_requests
+            && sum(|t| t.submitted) == self.submitted_requests
+            && sum(|t| t.workload_accesses) == self.workload_accesses
+            && sum(|t| t.latency.sum()) == self.latencies.iter().sum::<u64>()
+            && sum(|t| t.latency.count()) == self.latencies.len() as u64
+            && self
+                .per_tenant
+                .iter()
+                .enumerate()
+                .all(|(i, t)| t.tenant as usize == i && t.latency.count() == t.completed)
+    }
 }
 
 /// Per-request bookkeeping carried from submission to completion.
@@ -145,6 +272,9 @@ struct InFlightEntry {
     /// Workload accesses (LLC hits plus the final miss) consumed to form
     /// this request; attributed to the measured window at completion.
     accesses: u64,
+    /// Tenant the request belongs to (the tenant of the missing access;
+    /// meaningless for dummies).
+    tenant: u32,
 }
 
 /// Bookkeeping for the requests currently in flight, keyed by request id.
@@ -159,12 +289,13 @@ struct InFlightTable {
 }
 
 impl InFlightTable {
-    fn insert(&mut self, request_id: u64, found: bool, is_dummy: bool, accesses: u64) {
+    fn insert(&mut self, request_id: u64, found: bool, is_dummy: bool, accesses: u64, tenant: u32) {
         self.entries.push(InFlightEntry {
             request_id,
             found,
             is_dummy,
             accesses,
+            tenant,
         });
     }
 
@@ -444,10 +575,7 @@ pub fn run_with_configs_spec_stepped(
     let mut controller = OramController::new(controller_cfg);
     let mut dram = DramSystem::new(config.dram);
     let mut llc = Llc::new(config.llc);
-    let mut stream = spec.build(
-        config.workload_footprint.min(config.protected_bytes),
-        config.seed ^ 0xF00D,
-    )?;
+    let mut stream = spec.build(config.stream_footprint_hint(), config.stream_seed())?;
 
     // Table II generators scale themselves to the footprint hint, but the
     // data-driven specs cannot: a replay's footprint is whatever the trace
@@ -472,6 +600,10 @@ or raise protected_bytes)",
     let protected_lines = config.protected_bytes / 64;
     let total_requests = config.total_requests();
     let warmup = config.warmup_requests;
+    // Single-tenant streams tag everything as tenant 0 by contract, so the
+    // hot loop only pays the tagged pull (an extra dyn dispatch per access)
+    // when there is more than one tenant to tell apart.
+    let pull_tags = config.collect_per_tenant && stream.tenant_count() > 1;
 
     let mut in_flight = InFlightTable::default();
 
@@ -504,6 +636,14 @@ or raise protected_bytes)",
         sync_stall_cycles: 0,
         llc_hit_rate: 0.0,
         prefetch_length,
+        submitted_requests: 0,
+        per_tenant: if config.collect_per_tenant {
+            (0..stream.tenant_count())
+                .map(|i| TenantMetrics::new(i as u32))
+                .collect()
+        } else {
+            Vec::new()
+        },
     };
 
     let sample_every = (config.measured_requests / 100).max(1);
@@ -513,20 +653,26 @@ or raise protected_bytes)",
         if pending_plan.is_none() && submitted < total_requests + config.measured_requests {
             if oram.needs_background_evict() {
                 let result = oram.background_evict();
-                in_flight.insert(result.plan.request_id, false, true, 0);
+                in_flight.insert(result.plan.request_id, false, true, 0, 0);
                 pending_plan = Some(result.plan);
             } else if submitted < total_requests {
                 // Pull workload accesses through the LLC until one misses.
                 // An all-hits workload cannot form an ORAM request, so it
-                // would wedge this loop forever; fail loudly instead.
+                // would wedge this loop forever; fail loudly instead. The
+                // request belongs to the tenant of the missing access.
                 let mut accesses_for_request = 0u64;
                 let mut guard = 0u64;
-                let (pa, op) = loop {
-                    let entry = stream.next_access();
+                let (pa, op, tenant) = loop {
+                    let (entry, tenant) = if pull_tags {
+                        let tagged = stream.next_tagged();
+                        (tagged.entry, tagged.tenant)
+                    } else {
+                        (stream.next_access(), 0)
+                    };
                     accesses_for_request += 1;
                     let pa = PhysAddr::new(entry.addr.0 % (protected_lines * 64));
                     if !llc.access(pa) {
-                        break (pa, entry.op);
+                        break (pa, entry.op, tenant);
                     }
                     guard += 1;
                     if guard > 1_000_000 {
@@ -545,9 +691,16 @@ or raise protected_bytes)",
                     result.found,
                     false,
                     accesses_for_request,
+                    tenant,
                 );
                 pending_plan = Some(result.plan);
                 submitted += 1;
+                if measuring {
+                    metrics.submitted_requests += 1;
+                    if let Some(tm) = metrics.per_tenant.get_mut(tenant as usize) {
+                        tm.submitted += 1;
+                    }
+                }
             }
         }
 
@@ -579,6 +732,7 @@ or raise protected_bytes)",
                         found: false,
                         is_dummy: finished.is_dummy,
                         accesses: 0,
+                        tenant: 0,
                     }
                 }
             };
@@ -601,6 +755,16 @@ or raise protected_bytes)",
                     metrics
                         .behaviour_latency
                         .push((entry.found, finished.latency()));
+                    if let Some(tm) = metrics.per_tenant.get_mut(entry.tenant as usize) {
+                        tm.record_completion(finished.latency(), entry.accesses, finished.dram_ops);
+                    } else {
+                        debug_assert!(
+                            metrics.per_tenant.is_empty(),
+                            "request tagged with tenant {} but only {} tenants attributed",
+                            entry.tenant,
+                            metrics.per_tenant.len()
+                        );
+                    }
                     if metrics.oram_requests.is_multiple_of(sample_every) {
                         let progress =
                             metrics.oram_requests as f64 / config.measured_requests as f64;
@@ -766,20 +930,21 @@ mod tests {
 
     #[test]
     fn in_flight_table_handles_out_of_order_completion() {
-        let entry = |request_id, found, is_dummy, accesses| InFlightEntry {
+        let entry = |request_id, found, is_dummy, accesses, tenant| InFlightEntry {
             request_id,
             found,
             is_dummy,
             accesses,
+            tenant,
         };
         let mut table = InFlightTable::default();
-        table.insert(1, true, false, 4);
-        table.insert(2, false, true, 0);
-        table.insert(3, false, false, 1);
-        assert_eq!(table.remove(2), Some(entry(2, false, true, 0)));
+        table.insert(1, true, false, 4, 0);
+        table.insert(2, false, true, 0, 0);
+        table.insert(3, false, false, 1, 2);
+        assert_eq!(table.remove(2), Some(entry(2, false, true, 0, 0)));
         assert_eq!(table.remove(2), None);
-        assert_eq!(table.remove(1), Some(entry(1, true, false, 4)));
-        assert_eq!(table.remove(3), Some(entry(3, false, false, 1)));
+        assert_eq!(table.remove(1), Some(entry(1, true, false, 4, 0)));
+        assert_eq!(table.remove(3), Some(entry(3, false, false, 1, 2)));
         assert_eq!(table.remove(4), None);
     }
 
@@ -800,6 +965,39 @@ mod tests {
     }
 
     #[test]
+    fn single_tenant_run_attributes_everything_to_tenant_zero() {
+        let m = run_workload(Scheme::Palermo, Workload::Random, &tiny()).unwrap();
+        assert_eq!(m.per_tenant.len(), 1);
+        assert!(m.tenant_conservation_ok());
+        let t = &m.per_tenant[0];
+        assert_eq!(t.tenant, 0);
+        assert_eq!(t.completed, m.oram_requests);
+        assert_eq!(t.workload_accesses, m.workload_accesses);
+        assert!(t.submitted > 0);
+        assert_eq!(m.submitted_requests, t.submitted);
+        assert_eq!(t.latency.sum(), m.latencies.iter().sum::<u64>());
+        assert!((t.mean_latency() - m.mean_latency()).abs() < 1e-9);
+        assert!(t.p50_latency() <= t.p95_latency() && t.p95_latency() <= t.p99_latency());
+        assert!(t.dram_ops > 0);
+        assert_eq!(m.tenant_dram_share(0), 1.0);
+        assert_eq!(m.tenant_dram_share(1), 0.0);
+    }
+
+    #[test]
+    fn disabling_attribution_changes_no_aggregate_metric() {
+        let mut cfg = tiny();
+        let tagged = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
+        cfg.collect_per_tenant = false;
+        let untagged = run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
+        assert!(untagged.per_tenant.is_empty());
+        assert!(untagged.tenant_conservation_ok());
+        // Everything except the per-tenant vector is byte-identical.
+        let mut tagged_stripped = tagged.clone();
+        tagged_stripped.per_tenant = Vec::new();
+        assert_eq!(tagged_stripped, untagged);
+    }
+
+    #[test]
     fn metrics_empty_helpers_are_safe() {
         let m = RunMetrics {
             scheme: Scheme::Palermo,
@@ -817,9 +1015,13 @@ mod tests {
             sync_stall_cycles: 0,
             llc_hit_rate: 0.0,
             prefetch_length: 1,
+            submitted_requests: 0,
+            per_tenant: vec![],
         };
         assert_eq!(m.requests_per_second(), 0.0);
         assert_eq!(m.mean_latency(), 0.0);
         assert_eq!(m.dummy_fraction(), 0.0);
+        assert_eq!(m.tenant_dram_share(0), 0.0);
+        assert!(m.tenant_conservation_ok());
     }
 }

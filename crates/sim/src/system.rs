@@ -37,6 +37,11 @@ pub struct SystemConfig {
     /// Override the per-workload prefetch length (None = use the workload's
     /// default, mirroring the paper's per-workload sweep).
     pub prefetch_override: Option<u32>,
+    /// Whether the runner attributes metrics per tenant
+    /// (`RunMetrics::per_tenant`). On by default; the only reason to turn it
+    /// off is to measure the attribution's own overhead (see the
+    /// `fig03_ring_baseline` bench's tagged-vs-untagged comparison).
+    pub collect_per_tenant: bool,
 }
 
 impl SystemConfig {
@@ -59,6 +64,7 @@ impl SystemConfig {
             llc: LlcConfig::default(),
             dram: DramConfig::ddr4_3200_quad_channel(),
             prefetch_override: None,
+            collect_per_tenant: true,
         }
     }
 
@@ -84,7 +90,22 @@ impl SystemConfig {
             },
             dram: DramConfig::ddr4_3200_quad_channel(),
             prefetch_override: None,
+            collect_per_tenant: true,
         }
+    }
+
+    /// The footprint hint the runner hands the workload stream built for
+    /// this configuration. Exposed so captures
+    /// ([`palermo_workloads::capture`]) can record exactly the stream a run
+    /// would consume.
+    pub fn stream_footprint_hint(&self) -> u64 {
+        self.workload_footprint.min(self.protected_bytes)
+    }
+
+    /// The seed the runner hands the workload stream built for this
+    /// configuration (decorrelated from the protocol-layer seed).
+    pub fn stream_seed(&self) -> u64 {
+        self.seed ^ 0xF00D
     }
 
     /// Derives the ORAM hierarchy parameters implied by this configuration.

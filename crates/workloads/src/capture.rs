@@ -1,0 +1,188 @@
+//! Trace capture: dump the first N accesses of any [`WorkloadSpec`] to a
+//! trace file, closing the generator → capture → replay loop.
+//!
+//! A captured trace replays bit-for-bit through
+//! [`TraceReplay`](crate::replay::TraceReplay): building the same spec with
+//! the same `(footprint_hint, seed)` and replaying the capture yields the
+//! identical access stream for the first N accesses (and, because replays
+//! loop, an identical *simulation* whenever the run consumes at most N
+//! accesses — `tests/capture_replay.rs` pins this end to end). This is the
+//! supported way to
+//!
+//! * freeze a synthetic generator into a portable artifact (hand a
+//!   redis-shaped trace to another simulator without shipping a generator),
+//! * snapshot a multi-tenant mix into a flat single-tenant trace, and
+//! * build regression fixtures that survive generator refactors.
+//!
+//! To capture exactly what a simulation run would consume, pass the run's
+//! stream inputs (`SystemConfig::stream_footprint_hint` /
+//! `SystemConfig::stream_seed` in `palermo-sim`).
+
+use crate::format;
+use crate::spec::WorkloadSpec;
+use crate::trace::TraceEntry;
+use palermo_oram::error::{OramError, OramResult};
+use std::path::Path;
+
+/// On-disk encoding for a capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureEncoding {
+    /// Human-editable `R/W <addr>` lines.
+    Text,
+    /// Compact binary `PTRC` records — the right choice beyond ~10⁵
+    /// accesses.
+    Binary,
+}
+
+/// Records the first `n` accesses of a spec's stream into memory.
+///
+/// # Errors
+///
+/// Rejects `n == 0` (an empty trace cannot replay) and propagates spec
+/// validation/build errors.
+pub fn capture(
+    spec: &WorkloadSpec,
+    n: usize,
+    footprint_hint: u64,
+    seed: u64,
+) -> OramResult<Vec<TraceEntry>> {
+    if n == 0 {
+        return Err(OramError::InvalidParams {
+            reason: "capture needs n ≥ 1 (an empty trace cannot replay)".into(),
+        });
+    }
+    let mut stream = spec.build(footprint_hint, seed)?;
+    Ok((0..n).map(|_| stream.next_access()).collect())
+}
+
+/// Records the first `n` accesses of a spec's stream into a trace file and
+/// returns the [`WorkloadSpec::TraceReplay`] that plays it back — the
+/// closed loop in one call:
+///
+/// ```no_run
+/// use palermo_workloads::{capture, Workload, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::from(Workload::Redis);
+/// let replay = capture::capture_to_file(
+///     &spec,
+///     100_000,
+///     256 << 20,
+///     7,
+///     "/tmp/redis.ptrc",
+///     capture::CaptureEncoding::Binary,
+/// )?;
+/// assert_eq!(replay.name(), "replay:/tmp/redis.ptrc");
+/// # Ok::<(), palermo_oram::error::OramError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`capture`] errors, I/O failures, and paths the replay-spec
+/// grammar cannot round-trip (see
+/// [`ReplaySpec::validate`](crate::spec::ReplaySpec::validate)).
+pub fn capture_to_file(
+    spec: &WorkloadSpec,
+    n: usize,
+    footprint_hint: u64,
+    seed: u64,
+    path: impl AsRef<Path>,
+    encoding: CaptureEncoding,
+) -> OramResult<WorkloadSpec> {
+    let path = path.as_ref();
+    let replay = WorkloadSpec::replay(path.display().to_string());
+    // Validate the destination path *before* doing the capture work: a path
+    // the grammar rejects would produce a file the returned spec cannot
+    // name.
+    replay.validate()?;
+    let entries = capture(spec, n, footprint_hint, seed)?;
+    let saved = match encoding {
+        CaptureEncoding::Text => format::save_text(path, &entries),
+        CaptureEncoding::Binary => format::save_binary(path, &entries),
+    };
+    saved.map_err(|reason| OramError::InvalidParams { reason })?;
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::TraceReplay;
+    use crate::trace::AccessStream;
+    use crate::workload::Workload;
+
+    #[test]
+    fn capture_matches_the_generator_prefix() {
+        let spec = WorkloadSpec::from(Workload::Redis);
+        let captured = capture(&spec, 500, 8 << 20, 99).unwrap();
+        let mut direct = spec.build(8 << 20, 99).unwrap();
+        for (i, e) in captured.iter().enumerate() {
+            assert_eq!(*e, direct.next_access(), "diverged at access {i}");
+        }
+    }
+
+    #[test]
+    fn capture_of_a_mix_replays_identically() {
+        use crate::mix::MixSpec;
+        let spec = WorkloadSpec::Mix(
+            MixSpec::round_robin()
+                .tenant(Workload::Redis.into(), 2)
+                .tenant(Workload::Llm.into(), 1),
+        );
+        let dir = std::env::temp_dir().join("palermo_capture_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (encoding, file) in [
+            (CaptureEncoding::Text, "mix.trace"),
+            (CaptureEncoding::Binary, "mix.ptrc"),
+        ] {
+            let path = dir.join(file);
+            let replay = capture_to_file(&spec, 800, 8 << 20, 3, &path, encoding).unwrap();
+            let mut replayed = replay.build(0, 0).unwrap();
+            let mut direct = spec.build(8 << 20, 3).unwrap();
+            for i in 0..800 {
+                assert_eq!(
+                    replayed.next_access(),
+                    direct.next_access(),
+                    "{file} diverged at access {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn text_and_binary_captures_decode_identically() {
+        let spec = WorkloadSpec::from(Workload::Mcf);
+        let dir = std::env::temp_dir().join("palermo_capture_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("mcf.trace");
+        let bin = dir.join("mcf.ptrc");
+        capture_to_file(&spec, 300, 4 << 20, 11, &text, CaptureEncoding::Text).unwrap();
+        capture_to_file(&spec, 300, 4 << 20, 11, &bin, CaptureEncoding::Binary).unwrap();
+        assert_eq!(
+            crate::format::load(&text).unwrap(),
+            crate::format::load(&bin).unwrap()
+        );
+        let replayed = TraceReplay::from_file(&bin).unwrap();
+        assert_eq!(replayed.len(), 300);
+        assert!(replayed.footprint_bytes() <= 4 << 20);
+    }
+
+    #[test]
+    fn degenerate_captures_are_rejected() {
+        let spec = WorkloadSpec::from(Workload::Random);
+        assert!(capture(&spec, 0, 1 << 20, 1).is_err());
+        // A path the spec-name grammar cannot round-trip is rejected before
+        // any capture work happens.
+        assert!(capture_to_file(
+            &spec,
+            10,
+            1 << 20,
+            1,
+            "/tmp/bad,path.trace",
+            CaptureEncoding::Text
+        )
+        .is_err());
+        // Build failures (missing trace file) surface through capture too.
+        let missing = WorkloadSpec::replay("/definitely/not/here.trace");
+        assert!(capture(&missing, 10, 1 << 20, 1).is_err());
+    }
+}

@@ -13,13 +13,18 @@
 //! deterministic.
 //!
 //! Beyond the closed Table II set, [`WorkloadSpec`] opens the workload
-//! surface: replay a recorded trace file ([`replay`], [`mod@format`]) or
-//! compose several streams into a multi-tenant mix ([`mix`]), all behind
-//! one buildable, name-round-trippable spec type.
+//! surface: replay a recorded trace file ([`replay`], [`mod@format`]),
+//! compose several streams into a multi-tenant mix ([`mix`]) — optionally
+//! with tenant arrival/departure windows ([`mix::PhasedMixSpec`]) — or dump
+//! any spec's stream back to a trace file ([`capture`]), all behind one
+//! buildable, name-round-trippable spec type. Multi-tenant streams tag each
+//! access with its originating tenant ([`trace::TaggedEntry`]) so the
+//! simulator can attribute per-tenant QoS metrics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod capture;
 pub mod format;
 pub mod generators;
 pub mod graph;
@@ -31,10 +36,14 @@ pub mod trace;
 pub mod workload;
 pub mod zipf;
 
+pub use capture::CaptureEncoding;
 pub use llc::{Llc, LlcConfig};
-pub use mix::{MixSpec, MixStream, TenantSelection, TenantSpec};
+pub use mix::{
+    MixSpec, MixStream, PhaseWindow, PhasedMixSpec, PhasedMixStream, PhasedTenantSpec,
+    TenantSelection, TenantSpec,
+};
 pub use replay::TraceReplay;
 pub use spec::{ReplaySpec, WorkloadSpec};
-pub use trace::{AccessStream, TraceEntry, TraceProfile};
+pub use trace::{AccessStream, TaggedEntry, TraceEntry, TraceProfile};
 pub use workload::Workload;
 pub use zipf::Zipf;

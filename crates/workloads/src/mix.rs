@@ -19,7 +19,7 @@
 //!   bit-for-bit regardless of tenant count.
 
 use crate::spec::WorkloadSpec;
-use crate::trace::{AccessStream, TraceEntry};
+use crate::trace::{AccessStream, TaggedEntry, TraceEntry};
 use crate::zipf::Zipf;
 use palermo_oram::error::{OramError, OramResult};
 use palermo_oram::rng::{OramRng, SplitMix64};
@@ -42,6 +42,12 @@ pub enum TenantSelection {
 }
 
 /// One tenant of a mix: a child workload spec and its round-robin weight.
+///
+/// A weight of 0 is **rejected** by [`MixSpec::validate`] rather than
+/// silently starving the tenant: a zero-weight tenant would never appear in
+/// the interleaved schedule, yet it would still be allocated an address-
+/// space partition and a seed, reporting metrics rows that can never fill.
+/// Remove the tenant from the mix instead of zeroing its weight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantSpec {
     /// The child workload (Table II or trace replay; mixes cannot nest).
@@ -113,7 +119,10 @@ impl MixSpec {
                     reason: format!("tenant {i} has weight 0 (must be ≥ 1)"),
                 });
             }
-            if matches!(t.workload, WorkloadSpec::Mix(_)) {
+            if matches!(
+                t.workload,
+                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_)
+            ) {
                 return Err(OramError::InvalidParams {
                     reason: format!("tenant {i} is itself a mix; mixes cannot nest"),
                 });
@@ -129,6 +138,58 @@ struct Tenant {
     stream: Box<dyn AccessStream>,
     base: u64,
     footprint: u64,
+}
+
+/// Builds the tenant streams with deterministic per-tenant seeds and lays
+/// them out side by side (prefix-sum partitioning). Shared by [`MixStream`]
+/// and [`PhasedMixStream`] so both spec kinds partition and seed
+/// identically.
+fn build_tenants<'a>(
+    children: impl Iterator<Item = &'a WorkloadSpec>,
+    n: usize,
+    footprint_hint: u64,
+    sm: &mut SplitMix64,
+) -> OramResult<(Vec<Tenant>, u64)> {
+    let per_tenant_hint = (footprint_hint / n as u64).max(1);
+    let mut tenants = Vec::with_capacity(n);
+    let mut base = 0u64;
+    for (i, child) in children.enumerate() {
+        let stream = child.build(per_tenant_hint, sm.next_u64())?;
+        let footprint = stream.footprint_bytes();
+        tenants.push(Tenant {
+            stream,
+            base,
+            footprint,
+        });
+        base = base
+            .checked_add(footprint)
+            .ok_or_else(|| OramError::InvalidParams {
+                reason: format!(
+                    "mix footprint overflows the address space at tenant {i} \
+(combined footprint exceeds 2^64 bytes)"
+                ),
+            })?;
+    }
+    Ok((tenants, base))
+}
+
+/// Builds the interleaved weighted-round-robin order: round `r` serves every
+/// tenant whose weight exceeds `r`, so a 2:1:1 mix plays 0,1,2,0 — not
+/// 0,0,1,2. One full cycle of the order (the *interleave period*, of length
+/// `sum(weights)`) serves tenant `i` exactly `weight_i` times, so the
+/// long-run share is exact for any weights; only a run cut mid-period can
+/// deviate, by at most one access per tenant.
+fn wrr_order(weights: impl Iterator<Item = u32> + Clone) -> Vec<usize> {
+    let max_weight = weights.clone().max().unwrap_or(1);
+    let mut order = Vec::new();
+    for round in 0..max_weight {
+        for (i, w) in weights.clone().enumerate() {
+            if w > round {
+                order.push(i);
+            }
+        }
+    }
+    order
 }
 
 /// The tenant-selection engine.
@@ -164,41 +225,17 @@ impl MixStream {
         // seed per tenant, all derived from the mix seed alone.
         let mut sm = SplitMix64::new(seed);
         let selection_seed = sm.next_u64();
-        let per_tenant_hint = (footprint_hint / n as u64).max(1);
-        let mut tenants = Vec::with_capacity(n);
-        let mut base = 0u64;
-        for (i, t) in spec.tenants.iter().enumerate() {
-            let stream = t.workload.build(per_tenant_hint, sm.next_u64())?;
-            let footprint = stream.footprint_bytes();
-            tenants.push(Tenant {
-                stream,
-                base,
-                footprint,
-            });
-            base = base
-                .checked_add(footprint)
-                .ok_or_else(|| OramError::InvalidParams {
-                    reason: format!(
-                        "mix footprint overflows the address space at tenant {i} \
-(combined footprint exceeds 2^64 bytes)"
-                    ),
-                })?;
-        }
+        let (tenants, total) = build_tenants(
+            spec.tenants.iter().map(|t| &t.workload),
+            n,
+            footprint_hint,
+            &mut sm,
+        )?;
         let schedule = match spec.selection {
-            TenantSelection::WeightedRoundRobin => {
-                // Interleave: round r serves every tenant whose weight
-                // exceeds r, so a 2:1:1 mix plays 0,1,2,0 — not 0,0,1,2.
-                let max_weight = spec.tenants.iter().map(|t| t.weight).max().unwrap_or(1);
-                let mut order = Vec::new();
-                for round in 0..max_weight {
-                    for (i, t) in spec.tenants.iter().enumerate() {
-                        if t.weight > round {
-                            order.push(i);
-                        }
-                    }
-                }
-                Schedule::Wrr { order, cursor: 0 }
-            }
+            TenantSelection::WeightedRoundRobin => Schedule::Wrr {
+                order: wrr_order(spec.tenants.iter().map(|t| t.weight)),
+                cursor: 0,
+            },
             TenantSelection::Zipf { theta } => Schedule::Zipf {
                 sampler: Zipf::new(n as u64, theta),
                 rng: OramRng::new(selection_seed),
@@ -207,13 +244,8 @@ impl MixStream {
         Ok(MixStream {
             tenants,
             schedule,
-            total_footprint: base,
+            total_footprint: total,
         })
-    }
-
-    /// Number of tenants in the mix.
-    pub fn tenant_count(&self) -> usize {
-        self.tenants.len()
     }
 
     /// The `[base, base + footprint)` address slice owned by tenant `i`.
@@ -229,6 +261,10 @@ impl MixStream {
 
 impl AccessStream for MixStream {
     fn next_access(&mut self) -> TraceEntry {
+        self.next_tagged().entry
+    }
+
+    fn next_tagged(&mut self) -> TaggedEntry {
         let idx = match &mut self.schedule {
             Schedule::Wrr { order, cursor } => {
                 let idx = order[*cursor];
@@ -243,10 +279,283 @@ impl AccessStream for MixStream {
             entry.addr.0 < tenant.footprint,
             "tenant {idx} violated its footprint bound"
         );
-        TraceEntry {
-            addr: PhysAddr::new(tenant.base + entry.addr.0),
-            op: entry.op,
+        TaggedEntry {
+            entry: TraceEntry {
+                addr: PhysAddr::new(tenant.base + entry.addr.0),
+                op: entry.op,
+            },
+            tenant: idx as u32,
         }
+    }
+
+    fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.total_footprint
+    }
+}
+
+/// A tenant activity window, in mix access indices: the tenant serves
+/// accesses while the mix's access counter lies in `[start, end)`.
+///
+/// Windows are expressed over the *access budget* of the run (the mix
+/// counts every access it emits), which is the natural unit for arrival/
+/// departure scenarios: "tenant 3 joins a quarter of the way in" is
+/// `[budget/4, MAX)` regardless of how wall-clock time stretches under
+/// contention. `end == u64::MAX` means the tenant never departs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseWindow {
+    /// First access index at which the tenant is active.
+    pub start: u64,
+    /// First access index at which the tenant is gone again (exclusive).
+    pub end: u64,
+}
+
+impl PhaseWindow {
+    /// The always-active window `[0, MAX)`.
+    pub const ALWAYS: PhaseWindow = PhaseWindow {
+        start: 0,
+        end: u64::MAX,
+    };
+
+    /// A bounded window `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        PhaseWindow { start, end }
+    }
+
+    /// An arrival-only window `[start, MAX)`.
+    pub fn from_start(start: u64) -> Self {
+        PhaseWindow {
+            start,
+            end: u64::MAX,
+        }
+    }
+
+    /// A departure-only window `[0, end)`.
+    pub fn until(end: u64) -> Self {
+        PhaseWindow { start: 0, end }
+    }
+
+    /// Whether access index `t` falls inside the window.
+    pub fn contains(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether this is the full `[0, MAX)` window.
+    pub fn is_always(&self) -> bool {
+        *self == Self::ALWAYS
+    }
+}
+
+/// One tenant of a phased mix: a child workload, its round-robin weight and
+/// its activity window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedTenantSpec {
+    /// The child workload (Table II or trace replay; mixes cannot nest).
+    pub workload: WorkloadSpec,
+    /// Relative share under weighted round-robin while active (must be ≥ 1).
+    pub weight: u32,
+    /// The `[start, end)` activity window in access indices.
+    pub window: PhaseWindow,
+}
+
+/// A declarative multi-tenant mix with tenant arrival and departure.
+///
+/// Selection is interleaved weighted round-robin over the tenants *active*
+/// at the current access index (the schedule position of inactive tenants
+/// is skipped at zero cost, so active tenants keep their relative weights).
+/// Address-space partitioning and per-tenant seeding are identical to
+/// [`MixSpec`]: every tenant owns its slice for the whole run, so arrivals
+/// and departures never remap anyone's addresses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhasedMixSpec {
+    /// The tenants, in partition order.
+    pub tenants: Vec<PhasedTenantSpec>,
+}
+
+impl PhasedMixSpec {
+    /// Starts an empty phased mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a tenant with an activity window.
+    #[must_use]
+    pub fn tenant(mut self, workload: WorkloadSpec, weight: u32, window: PhaseWindow) -> Self {
+        self.tenants.push(PhasedTenantSpec {
+            workload,
+            weight,
+            window,
+        });
+        self
+    }
+
+    /// Validates the phased mix: at least one tenant, weights ≥ 1,
+    /// non-empty windows, children that are valid non-mix specs, and
+    /// activity windows whose union covers every access index — a gap would
+    /// leave the stream with no tenant to serve and wedge the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending tenant/parameter.
+    pub fn validate(&self) -> OramResult<()> {
+        if self.tenants.is_empty() {
+            return Err(OramError::InvalidParams {
+                reason: "a phased mix needs at least one tenant".into(),
+            });
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return Err(OramError::InvalidParams {
+                    reason: format!("phased tenant {i} has weight 0 (must be ≥ 1)"),
+                });
+            }
+            if t.window.start >= t.window.end {
+                return Err(OramError::InvalidParams {
+                    reason: format!(
+                        "phased tenant {i} has an empty activity window [{}, {})",
+                        t.window.start, t.window.end
+                    ),
+                });
+            }
+            if matches!(
+                t.workload,
+                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_)
+            ) {
+                return Err(OramError::InvalidParams {
+                    reason: format!("phased tenant {i} is itself a mix; mixes cannot nest"),
+                });
+            }
+            t.workload.validate()?;
+        }
+        // Coverage: merge the windows and require [0, MAX) without gaps.
+        let mut windows: Vec<PhaseWindow> = self.tenants.iter().map(|t| t.window).collect();
+        windows.sort_by_key(|w| w.start);
+        let mut covered = 0u64;
+        for w in &windows {
+            if w.start > covered {
+                return Err(OramError::InvalidParams {
+                    reason: format!(
+                        "phased mix leaves no tenant active for access indices \
+[{covered}, {}): every access index needs at least one active tenant",
+                        w.start
+                    ),
+                });
+            }
+            covered = covered.max(w.end);
+        }
+        if covered != u64::MAX {
+            return Err(OramError::InvalidParams {
+                reason: format!(
+                    "phased mix leaves no tenant active from access index {covered} on: \
+at least one tenant must have an open-ended window"
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The composed phased multi-tenant stream. Build one from a
+/// [`PhasedMixSpec`] (usually via [`WorkloadSpec::build`]).
+pub struct PhasedMixStream {
+    tenants: Vec<Tenant>,
+    windows: Vec<PhaseWindow>,
+    order: Vec<usize>,
+    cursor: usize,
+    /// Accesses emitted so far — the clock the activity windows are read
+    /// against.
+    clock: u64,
+    total_footprint: u64,
+}
+
+impl PhasedMixStream {
+    /// Instantiates a phased mix. Seeding and partitioning mirror
+    /// [`MixStream::new`] exactly (one SplitMix64 expansion, selection slot
+    /// first, then one seed per tenant), so a phased mix whose windows are
+    /// all `[0, MAX)` emits the same per-tenant streams as the equivalent
+    /// round-robin [`MixSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhasedMixSpec::validate`] failures, child build errors
+    /// and footprint overflow.
+    pub fn new(spec: &PhasedMixSpec, footprint_hint: u64, seed: u64) -> OramResult<Self> {
+        spec.validate()?;
+        let mut sm = SplitMix64::new(seed);
+        let _selection_seed = sm.next_u64(); // reserved, as in MixStream
+        let (tenants, total) = build_tenants(
+            spec.tenants.iter().map(|t| &t.workload),
+            spec.tenants.len(),
+            footprint_hint,
+            &mut sm,
+        )?;
+        Ok(PhasedMixStream {
+            tenants,
+            windows: spec.tenants.iter().map(|t| t.window).collect(),
+            order: wrr_order(spec.tenants.iter().map(|t| t.weight)),
+            cursor: 0,
+            clock: 0,
+            total_footprint: total,
+        })
+    }
+
+    /// The `[base, base + footprint)` address slice owned by tenant `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tenant_partition(&self, i: usize) -> (u64, u64) {
+        let t = &self.tenants[i];
+        (t.base, t.base + t.footprint)
+    }
+
+    /// Accesses emitted so far (the window clock).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+impl AccessStream for PhasedMixStream {
+    fn next_access(&mut self) -> TraceEntry {
+        self.next_tagged().entry
+    }
+
+    fn next_tagged(&mut self) -> TaggedEntry {
+        // Walk the interleaved WRR order, skipping tenants outside their
+        // activity window. Validation guarantees at least one tenant is
+        // active at every access index and every tenant appears in the
+        // order, so a full lap always finds a server.
+        let mut picked = None;
+        for _ in 0..self.order.len() {
+            let cand = self.order[self.cursor];
+            self.cursor = (self.cursor + 1) % self.order.len();
+            if self.windows[cand].contains(self.clock) {
+                picked = Some(cand);
+                break;
+            }
+        }
+        let idx = picked.expect("validated phase windows cover every access index");
+        self.clock += 1;
+        let tenant = &mut self.tenants[idx];
+        let entry = tenant.stream.next_access();
+        debug_assert!(
+            entry.addr.0 < tenant.footprint,
+            "phased tenant {idx} violated its footprint bound"
+        );
+        TaggedEntry {
+            entry: TraceEntry {
+                addr: PhysAddr::new(tenant.base + entry.addr.0),
+                op: entry.op,
+            },
+            tenant: idx as u32,
+        }
+    }
+
+    fn tenant_count(&self) -> usize {
+        self.tenants.len()
     }
 
     fn footprint_bytes(&self) -> u64 {
@@ -358,6 +667,167 @@ mod tests {
         let fp = mix.footprint_bytes();
         for _ in 0..500 {
             assert!(mix.next_access().addr.0 < fp);
+        }
+    }
+
+    #[test]
+    fn tagged_accesses_name_the_partition_owner() {
+        let mut mix = MixStream::new(&three_tenant_spec(), 64 << 20, 7).unwrap();
+        assert_eq!(mix.tenant_count(), 3);
+        for _ in 0..2000 {
+            let tagged = mix.next_tagged();
+            let (base, end) = mix.tenant_partition(tagged.tenant as usize);
+            assert!(
+                (base..end).contains(&tagged.entry.addr.0),
+                "tenant tag {} does not own address {:#x}",
+                tagged.tenant,
+                tagged.entry.addr.0
+            );
+        }
+    }
+
+    #[test]
+    fn next_access_and_next_tagged_share_one_sequence() {
+        let spec = three_tenant_spec();
+        let mut a = MixStream::new(&spec, 32 << 20, 42).unwrap();
+        let mut b = MixStream::new(&spec, 32 << 20, 42).unwrap();
+        for i in 0..1000 {
+            // Alternate entry points on `a`; `b` uses only the tagged one.
+            let ea = if i % 2 == 0 {
+                a.next_access()
+            } else {
+                a.next_tagged().entry
+            };
+            assert_eq!(ea, b.next_tagged().entry, "diverged at access {i}");
+        }
+    }
+
+    /// WRR audit (starvation): a zero-weight tenant would never be scheduled
+    /// while still owning an address partition and a metrics row; the spec
+    /// layer rejects it outright instead of starving it silently.
+    #[test]
+    fn zero_weight_tenant_is_rejected_not_starved() {
+        let spec = MixSpec::round_robin()
+            .tenant(Workload::Redis.into(), 1)
+            .tenant(Workload::Llm.into(), 0);
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("weight 0"), "{err}");
+        assert!(MixStream::new(&spec, 16 << 20, 1).is_err());
+    }
+
+    /// WRR audit (bias): weights that do not divide each other still get an
+    /// exact share per interleave period — over any whole number of periods
+    /// tenant `i` is served exactly `weight_i / sum(weights)` of the time.
+    #[test]
+    fn wrr_share_is_exact_per_period_for_non_dividing_weights() {
+        for weights in [vec![3, 2], vec![5, 3, 1], vec![1, 4, 2, 7]] {
+            let mut spec = MixSpec::round_robin();
+            for &w in &weights {
+                spec = spec.tenant(Workload::Random.into(), w);
+            }
+            let mut mix = MixStream::new(&spec, 64 << 20, 13).unwrap();
+            let period: u32 = weights.iter().sum();
+            let mut counts = vec![0u32; weights.len()];
+            for _ in 0..period * 6 {
+                counts[mix.next_tagged().tenant as usize] += 1;
+            }
+            let expected: Vec<u32> = weights.iter().map(|w| w * 6).collect();
+            assert_eq!(counts, expected, "weights {weights:?} drifted");
+        }
+    }
+
+    #[test]
+    fn phased_mix_respects_activity_windows() {
+        let spec = PhasedMixSpec::new()
+            .tenant(Workload::Redis.into(), 2, PhaseWindow::ALWAYS)
+            .tenant(Workload::Llm.into(), 1, PhaseWindow::from_start(100))
+            .tenant(Workload::Streaming.into(), 1, PhaseWindow::until(200));
+        let mut mix = PhasedMixStream::new(&spec, 64 << 20, 7).unwrap();
+        assert_eq!(mix.tenant_count(), 3);
+        let windows = [
+            PhaseWindow::ALWAYS,
+            PhaseWindow::from_start(100),
+            PhaseWindow::until(200),
+        ];
+        let mut seen = [0u64; 3];
+        for t in 0..1000u64 {
+            assert_eq!(mix.clock(), t);
+            let tagged = mix.next_tagged();
+            let idx = tagged.tenant as usize;
+            assert!(
+                windows[idx].contains(t),
+                "tenant {idx} served access {t} outside its window"
+            );
+            let (base, end) = mix.tenant_partition(idx);
+            assert!((base..end).contains(&tagged.entry.addr.0));
+            seen[idx] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0 && seen[2] > 0);
+    }
+
+    #[test]
+    fn phased_mix_with_full_windows_matches_the_flat_mix() {
+        // Same children, same weights, all windows [0, MAX): the phased
+        // stream must reproduce the flat WRR mix access for access.
+        let flat = three_tenant_spec();
+        let phased = PhasedMixSpec::new()
+            .tenant(Workload::Redis.into(), 2, PhaseWindow::ALWAYS)
+            .tenant(Workload::Llm.into(), 1, PhaseWindow::ALWAYS)
+            .tenant(Workload::Streaming.into(), 1, PhaseWindow::ALWAYS);
+        let mut a = MixStream::new(&flat, 48 << 20, 23).unwrap();
+        let mut b = PhasedMixStream::new(&phased, 48 << 20, 23).unwrap();
+        assert_eq!(a.footprint_bytes(), b.footprint_bytes());
+        for _ in 0..2000 {
+            assert_eq!(a.next_tagged(), b.next_tagged());
+        }
+    }
+
+    #[test]
+    fn phased_mix_rejects_gaps_and_degenerate_windows() {
+        // No always-on coverage at the tail.
+        let tail_gap =
+            PhasedMixSpec::new().tenant(Workload::Redis.into(), 1, PhaseWindow::until(100));
+        assert!(tail_gap.validate().is_err());
+        // Gap in the middle: [0,100) + [200,MAX).
+        let mid_gap = PhasedMixSpec::new()
+            .tenant(Workload::Redis.into(), 1, PhaseWindow::until(100))
+            .tenant(Workload::Llm.into(), 1, PhaseWindow::from_start(200));
+        let err = mid_gap.validate().unwrap_err();
+        assert!(err.to_string().contains("[100, 200)"), "{err}");
+        // Empty window.
+        let empty = PhasedMixSpec::new()
+            .tenant(Workload::Redis.into(), 1, PhaseWindow::ALWAYS)
+            .tenant(Workload::Llm.into(), 1, PhaseWindow::new(50, 50));
+        assert!(empty.validate().is_err());
+        // Zero weight, empty mix, nesting.
+        assert!(PhasedMixSpec::new().validate().is_err());
+        let zero_w = PhasedMixSpec::new().tenant(Workload::Redis.into(), 0, PhaseWindow::ALWAYS);
+        assert!(zero_w.validate().is_err());
+        let nested = PhasedMixSpec::new().tenant(
+            WorkloadSpec::Mix(MixSpec::round_robin().tenant(Workload::Redis.into(), 1)),
+            1,
+            PhaseWindow::ALWAYS,
+        );
+        assert!(nested.validate().is_err());
+    }
+
+    #[test]
+    fn departed_tenants_free_their_schedule_share() {
+        // Tenant 1 departs at access 10; afterwards tenant 0 serves
+        // everything even though the WRR order still names tenant 1.
+        let spec = PhasedMixSpec::new()
+            .tenant(Workload::Random.into(), 1, PhaseWindow::ALWAYS)
+            .tenant(Workload::Redis.into(), 3, PhaseWindow::until(10));
+        let mut mix = PhasedMixStream::new(&spec, 16 << 20, 3).unwrap();
+        for _ in 0..10 {
+            mix.next_tagged();
+        }
+        for t in 10..200 {
+            let tagged = mix.next_tagged();
+            assert_eq!(
+                tagged.tenant, 0,
+                "tenant 1 served access {t} after departing"
+            );
         }
     }
 

@@ -10,7 +10,9 @@
 //!   file (see [`crate::format`] for the on-disk encodings);
 //! * [`WorkloadSpec::Mix`] — a multi-tenant interleaver composing N child
 //!   streams with per-tenant address-space partitioning (see
-//!   [`crate::mix`]).
+//!   [`crate::mix`]);
+//! * [`WorkloadSpec::PhasedMix`] — a mix whose tenants arrive and depart
+//!   over the run via `[start, end)` activity windows in access indices.
 //!
 //! Every spec has a canonical *name* — a short string that round-trips
 //! through [`WorkloadSpec::from_name`] — so experiment results that embed a
@@ -22,14 +24,20 @@
 //! replay:/tmp/capture.trace          trace replay from a file
 //! mix:rr:redis*2+llm+stream          weighted-round-robin 3-tenant mix
 //! mix:zipf0.9:redis+redis+llm        Zipf-weighted tenant selection
+//! mix:phase:redis*2+llm@500..+kv@0..2000   phased mix: llm arrives at
+//!                                    access 500, kv departs at access 2000
 //! ```
 //!
+//! A phased tenant is `child[*weight][@start..end]`: the window suffix is
+//! omitted for always-active tenants, `end` is omitted for tenants that
+//! never depart.
+//!
 //! Names never contain commas, so they embed directly into the CSV export
-//! (paths containing reserved characters — `,`, `+`, `*` or control
+//! (paths containing reserved characters — `,`, `+`, `*`, `@` or control
 //! characters — are rejected at validation time rather than silently
 //! producing a name that cannot round-trip).
 
-use crate::mix::{MixSpec, TenantSelection};
+use crate::mix::{MixSpec, PhaseWindow, PhasedMixSpec, TenantSelection};
 use crate::replay::TraceReplay;
 use crate::trace::AccessStream;
 use crate::workload::Workload;
@@ -54,7 +62,8 @@ impl ReplaySpec {
     /// # Errors
     ///
     /// Rejects empty paths and paths containing the grammar's reserved
-    /// characters (`,`, `+`, `*`) or control characters.
+    /// characters (`,`, `+`, `*`, `@` — the last reserved by the phased-mix
+    /// window suffix) or control characters.
     pub fn validate(&self) -> OramResult<()> {
         if self.path.is_empty() {
             return Err(OramError::InvalidParams {
@@ -64,12 +73,12 @@ impl ReplaySpec {
         if self
             .path
             .chars()
-            .any(|c| matches!(c, ',' | '+' | '*') || c.is_control())
+            .any(|c| matches!(c, ',' | '+' | '*' | '@') || c.is_control())
         {
             return Err(OramError::InvalidParams {
                 reason: format!(
                     "trace path {:?} contains characters reserved by the spec-name \
-grammar (',', '+', '*', control)",
+grammar (',', '+', '*', '@', control)",
                     self.path
                 ),
             });
@@ -87,6 +96,8 @@ pub enum WorkloadSpec {
     TraceReplay(ReplaySpec),
     /// A multi-tenant mix of child streams.
     Mix(MixSpec),
+    /// A multi-tenant mix with tenant arrival/departure windows.
+    PhasedMix(PhasedMixSpec),
 }
 
 impl WorkloadSpec {
@@ -109,15 +120,17 @@ impl WorkloadSpec {
                 let tenants: Vec<String> = m
                     .tenants
                     .iter()
-                    .map(|t| {
-                        if t.weight == 1 {
-                            t.workload.name()
-                        } else {
-                            format!("{}*{}", t.workload.name(), t.weight)
-                        }
-                    })
+                    .map(|t| render_tenant(&t.workload, t.weight, None))
                     .collect();
                 format!("mix:{sel}:{}", tenants.join("+"))
+            }
+            WorkloadSpec::PhasedMix(m) => {
+                let tenants: Vec<String> = m
+                    .tenants
+                    .iter()
+                    .map(|t| render_tenant(&t.workload, t.weight, Some(t.window)))
+                    .collect();
+                format!("mix:phase:{}", tenants.join("+"))
             }
         }
     }
@@ -135,6 +148,15 @@ impl WorkloadSpec {
         }
         if let Some(rest) = name.strip_prefix("mix:") {
             let (sel, tenants) = rest.split_once(':')?;
+            if sel == "phase" {
+                let mut mix = PhasedMixSpec::new();
+                for tenant in tenants.split('+') {
+                    let (child, weight, window) = parse_tenant(tenant)?;
+                    mix = mix.tenant(WorkloadSpec::from_name(child)?, weight, window);
+                }
+                mix.validate().ok()?;
+                return Some(WorkloadSpec::PhasedMix(mix));
+            }
             let selection = if sel == "rr" {
                 TenantSelection::WeightedRoundRobin
             } else {
@@ -143,12 +165,11 @@ impl WorkloadSpec {
             };
             let mut mix = MixSpec::new(selection);
             for tenant in tenants.split('+') {
-                // The weight suffix is the last `*<u32>`; child names never
-                // contain `*` (ReplaySpec::validate rejects such paths).
-                let (child, weight) = match tenant.rsplit_once('*') {
-                    Some((child, w)) => (child, w.parse().ok()?),
-                    None => (tenant, 1),
-                };
+                let (child, weight, window) = parse_tenant(tenant)?;
+                // Window suffixes only belong to phased mixes.
+                if !window.is_always() || tenant.contains('@') {
+                    return None;
+                }
                 mix = mix.tenant(WorkloadSpec::from_name(child)?, weight);
             }
             mix.validate().ok()?;
@@ -165,6 +186,29 @@ impl WorkloadSpec {
         }
     }
 
+    /// Number of tenants a stream built from this spec multiplexes
+    /// (single-tenant specs — Table II workloads and trace replays — are 1).
+    /// Matches [`crate::trace::AccessStream::tenant_count`] of the built
+    /// stream, but needs no build (and thus no file access).
+    pub fn tenant_count(&self) -> usize {
+        match self {
+            WorkloadSpec::Table2(_) | WorkloadSpec::TraceReplay(_) => 1,
+            WorkloadSpec::Mix(m) => m.tenants.len(),
+            WorkloadSpec::PhasedMix(m) => m.tenants.len(),
+        }
+    }
+
+    /// The canonical name of tenant `i`'s child workload — the spec's own
+    /// name for single-tenant specs. `None` when `i` is out of range; used
+    /// by the per-tenant metric exports to label tenant rows.
+    pub fn tenant_workload_name(&self, i: usize) -> Option<String> {
+        match self {
+            WorkloadSpec::Table2(_) | WorkloadSpec::TraceReplay(_) => (i == 0).then(|| self.name()),
+            WorkloadSpec::Mix(m) => m.tenants.get(i).map(|t| t.workload.name()),
+            WorkloadSpec::PhasedMix(m) => m.tenants.get(i).map(|t| t.workload.name()),
+        }
+    }
+
     /// Validates the spec without building it (no file access: a replay
     /// spec's trace is only read at build time).
     ///
@@ -176,6 +220,7 @@ impl WorkloadSpec {
             WorkloadSpec::Table2(_) => Ok(()),
             WorkloadSpec::TraceReplay(r) => r.validate(),
             WorkloadSpec::Mix(m) => m.validate(),
+            WorkloadSpec::PhasedMix(m) => m.validate(),
         }
     }
 
@@ -188,7 +233,7 @@ impl WorkloadSpec {
     pub fn default_prefetch_length(&self) -> u32 {
         match self {
             WorkloadSpec::Table2(w) => w.default_prefetch_length(),
-            WorkloadSpec::TraceReplay(_) | WorkloadSpec::Mix(_) => 1,
+            WorkloadSpec::TraceReplay(_) | WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_) => 1,
         }
     }
 
@@ -212,8 +257,55 @@ impl WorkloadSpec {
                 footprint_hint,
                 seed,
             )?)),
+            WorkloadSpec::PhasedMix(m) => Ok(Box::new(crate::mix::PhasedMixStream::new(
+                m,
+                footprint_hint,
+                seed,
+            )?)),
         }
     }
+}
+
+/// Renders one mix-tenant token: `child[*weight][@start..end]`.
+fn render_tenant(workload: &WorkloadSpec, weight: u32, window: Option<PhaseWindow>) -> String {
+    let mut out = workload.name();
+    if weight != 1 {
+        out.push_str(&format!("*{weight}"));
+    }
+    if let Some(w) = window {
+        if !w.is_always() {
+            out.push_str(&format!("@{}..", w.start));
+            if w.end != u64::MAX {
+                out.push_str(&w.end.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Parses one mix-tenant token back into `(child name, weight, window)`.
+/// Tokens without a `@` suffix get the always-active window; child names
+/// can contain neither `@` nor `*` (`ReplaySpec::validate` rejects such
+/// paths), so both suffixes split unambiguously.
+fn parse_tenant(token: &str) -> Option<(&str, u32, PhaseWindow)> {
+    let (rest, window) = match token.rsplit_once('@') {
+        Some((rest, w)) => {
+            let (start, end) = w.split_once("..")?;
+            let start: u64 = start.parse().ok()?;
+            let end: u64 = if end.is_empty() {
+                u64::MAX
+            } else {
+                end.parse().ok()?
+            };
+            (rest, PhaseWindow::new(start, end))
+        }
+        None => (token, PhaseWindow::ALWAYS),
+    };
+    let (child, weight) = match rest.rsplit_once('*') {
+        Some((child, w)) => (child, w.parse().ok()?),
+        None => (rest, 1),
+    };
+    Some((child, weight, window))
 }
 
 impl From<Workload> for WorkloadSpec {
@@ -246,6 +338,7 @@ mod tests {
 
     #[test]
     fn replay_and_mix_names_round_trip() {
+        use crate::mix::{PhaseWindow, PhasedMixSpec};
         let specs = [
             WorkloadSpec::replay("/tmp/capture.trace"),
             WorkloadSpec::Mix(
@@ -259,6 +352,21 @@ mod tests {
                     .tenant(WorkloadSpec::replay("a.trace"), 1)
                     .tenant(Workload::Random.into(), 1),
             ),
+            WorkloadSpec::PhasedMix(
+                PhasedMixSpec::new()
+                    .tenant(Workload::Redis.into(), 2, PhaseWindow::ALWAYS)
+                    .tenant(Workload::Llm.into(), 1, PhaseWindow::from_start(500))
+                    .tenant(
+                        WorkloadSpec::replay("a.trace"),
+                        3,
+                        PhaseWindow::new(10, 2000),
+                    ),
+            ),
+            WorkloadSpec::PhasedMix(PhasedMixSpec::new().tenant(
+                Workload::Random.into(),
+                1,
+                PhaseWindow::ALWAYS,
+            )),
         ];
         for spec in specs {
             let name = spec.name();
@@ -281,16 +389,66 @@ mod tests {
             "mix:zipf1.5:redis",
             "mix:rr:redis*zero",
             "mix:rr:redis*0",
-            "mix:rr:mix:rr:redis", // nested mixes are not a valid spec
+            "mix:rr:mix:rr:redis",  // nested mixes are not a valid spec
+            "mix:rr:redis@0..10",   // window suffixes belong to phased mixes
+            "mix:phase:redis@0..0", // empty window
+            "mix:phase:redis@5..",  // coverage gap at [0, 5)
+            "mix:phase:redis@0..9", // nobody active from access 9 on
+            "mix:phase:redis@zz..", // unparsable window
+            "mix:phase:redis@1",    // window without the `..` separator
+            "mix:phase:",
         ] {
             assert_eq!(WorkloadSpec::from_name(bad), None, "{bad}");
         }
     }
 
     #[test]
+    fn phased_names_follow_the_documented_grammar() {
+        use crate::mix::{PhaseWindow, PhasedMixSpec};
+        let spec = WorkloadSpec::PhasedMix(
+            PhasedMixSpec::new()
+                .tenant(Workload::Redis.into(), 2, PhaseWindow::ALWAYS)
+                .tenant(Workload::Llm.into(), 1, PhaseWindow::from_start(500))
+                .tenant(Workload::Rm1.into(), 1, PhaseWindow::new(0, 2000)),
+        );
+        assert_eq!(spec.name(), "mix:phase:redis*2+llm@500..+rm1@0..2000");
+        assert_eq!(WorkloadSpec::from_name(&spec.name()), Some(spec));
+    }
+
+    #[test]
+    fn tenant_count_and_names_cover_every_spec_kind() {
+        use crate::mix::{PhaseWindow, PhasedMixSpec};
+        let single = WorkloadSpec::Table2(Workload::Mcf);
+        assert_eq!(single.tenant_count(), 1);
+        assert_eq!(single.tenant_workload_name(0).as_deref(), Some("mcf"));
+        assert_eq!(single.tenant_workload_name(1), None);
+        let replay = WorkloadSpec::replay("t.trace");
+        assert_eq!(replay.tenant_count(), 1);
+        assert_eq!(
+            replay.tenant_workload_name(0).as_deref(),
+            Some("replay:t.trace")
+        );
+        let mix = WorkloadSpec::Mix(
+            MixSpec::round_robin()
+                .tenant(Workload::Redis.into(), 2)
+                .tenant(Workload::Llm.into(), 1),
+        );
+        assert_eq!(mix.tenant_count(), 2);
+        assert_eq!(mix.tenant_workload_name(1).as_deref(), Some("llm"));
+        assert_eq!(mix.tenant_workload_name(2), None);
+        let phased = WorkloadSpec::PhasedMix(
+            PhasedMixSpec::new()
+                .tenant(Workload::Redis.into(), 1, PhaseWindow::ALWAYS)
+                .tenant(Workload::Mcf.into(), 1, PhaseWindow::from_start(9)),
+        );
+        assert_eq!(phased.tenant_count(), 2);
+        assert_eq!(phased.tenant_workload_name(1).as_deref(), Some("mcf"));
+    }
+
+    #[test]
     fn replay_paths_with_reserved_characters_fail_validation() {
         assert!(ReplaySpec::new("ok.trace").validate().is_ok());
-        for bad in ["", "a,b", "a+b", "a*b", "a\nb"] {
+        for bad in ["", "a,b", "a+b", "a*b", "a@b", "a\nb"] {
             assert!(ReplaySpec::new(bad).validate().is_err(), "{bad:?}");
         }
     }

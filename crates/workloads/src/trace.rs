@@ -31,6 +31,21 @@ impl TraceEntry {
     }
 }
 
+/// A [`TraceEntry`] together with the id of the tenant that produced it.
+///
+/// Single-tenant streams (every Table II generator, trace replays) are
+/// tenant 0; multi-tenant mixes tag each access with the index of the
+/// originating tenant so the simulator can attribute per-tenant QoS metrics
+/// (latency percentiles, DRAM demand share) at request granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedEntry {
+    /// The access itself.
+    pub entry: TraceEntry,
+    /// Index of the originating tenant within the stream (0-based; always 0
+    /// for single-tenant streams).
+    pub tenant: u32,
+}
+
 /// An endless stream of memory accesses with a bounded footprint.
 ///
 /// Generators are deterministic: the same seed yields the same stream, so
@@ -38,6 +53,26 @@ impl TraceEntry {
 pub trait AccessStream {
     /// Produces the next access.
     fn next_access(&mut self) -> TraceEntry;
+
+    /// Produces the next access together with its originating tenant.
+    ///
+    /// The default implementation tags everything as tenant 0 (the correct
+    /// answer for every single-tenant stream); multi-tenant streams override
+    /// it — and route [`AccessStream::next_access`] through it — so the two
+    /// entry points always observe the same underlying sequence.
+    fn next_tagged(&mut self) -> TaggedEntry {
+        TaggedEntry {
+            entry: self.next_access(),
+            tenant: 0,
+        }
+    }
+
+    /// Number of distinct tenants this stream multiplexes (1 for every
+    /// single-tenant stream). Every [`TaggedEntry::tenant`] the stream emits
+    /// is below this bound.
+    fn tenant_count(&self) -> usize {
+        1
+    }
 
     /// The size of the address range the stream touches, in bytes. All
     /// generated addresses are below this bound.
@@ -122,6 +157,17 @@ mod tests {
         fn footprint_bytes(&self) -> u64 {
             1 << 20
         }
+    }
+
+    #[test]
+    fn default_tagging_is_tenant_zero_and_consumes_the_stream() {
+        let mut s = Counter { next: 0 };
+        assert_eq!(s.tenant_count(), 1);
+        let first = s.next_tagged();
+        assert_eq!(first.tenant, 0);
+        assert_eq!(first.entry, TraceEntry::write(0));
+        // The tagged pull advanced the same underlying sequence.
+        assert_eq!(s.next_access(), TraceEntry::read(64));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests for phased mixes: arbitrary valid `PhasedMix` specs must
+//! round-trip through the spec-name grammar, and the built stream must
+//! never emit an access from a tenant outside its activity window.
+
+use palermo_workloads::{PhaseWindow, PhasedMixSpec, Workload, WorkloadSpec};
+use proptest::prelude::*;
+
+/// The child pool the random specs draw from.
+const CHILDREN: [Workload; 4] = [
+    Workload::Redis,
+    Workload::Llm,
+    Workload::Streaming,
+    Workload::Mcf,
+];
+
+/// Builds a valid random phased spec: tenant 0 is always on (guaranteeing
+/// window coverage of every access index), and up to two more tenants get
+/// arbitrary bounded or open windows.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    w0: u32,
+    c0: usize,
+    extra: usize,
+    starts: (u64, u64),
+    lens: (u64, u64),
+    weights: (u32, u32),
+    children: (usize, usize),
+    open_ended: (bool, bool),
+) -> PhasedMixSpec {
+    let mut spec = PhasedMixSpec::new().tenant(
+        CHILDREN[c0 % CHILDREN.len()].into(),
+        w0,
+        PhaseWindow::ALWAYS,
+    );
+    let params = [
+        (starts.0, lens.0, weights.0, children.0, open_ended.0),
+        (starts.1, lens.1, weights.1, children.1, open_ended.1),
+    ];
+    for &(start, len, weight, child, open) in params.iter().take(extra) {
+        let window = if open {
+            PhaseWindow::from_start(start)
+        } else {
+            PhaseWindow::new(start, start + len)
+        };
+        spec = spec.tenant(CHILDREN[child % CHILDREN.len()].into(), weight, window);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_phased_specs_round_trip_and_respect_windows(
+        w0 in 1u32..4,
+        c0 in 0usize..CHILDREN.len(),
+        extra in 0usize..3,
+        starts in (0u64..2500, 0u64..2500),
+        lens in (1u64..2500, 1u64..2500),
+        weights in (1u32..4, 1u32..4),
+        children in (0usize..CHILDREN.len(), 0usize..CHILDREN.len()),
+        open_ended in (any::<bool>(), any::<bool>()),
+        seed in any::<u64>(),
+    ) {
+        let spec = build_spec(w0, c0, extra, starts, lens, weights, children, open_ended);
+        prop_assert!(spec.validate().is_ok());
+        let spec = WorkloadSpec::PhasedMix(spec);
+
+        // Round trip: the canonical name parses back to the same spec.
+        let name = spec.name();
+        prop_assert!(!name.contains(','), "{}", name);
+        prop_assert_eq!(WorkloadSpec::from_name(&name).as_ref(), Some(&spec));
+
+        // Window property: every emitted access belongs to a tenant whose
+        // window contains the access index, and the tag names the partition
+        // that owns the address.
+        let windows: Vec<PhaseWindow> = match &spec {
+            WorkloadSpec::PhasedMix(m) => m.tenants.iter().map(|t| t.window).collect(),
+            _ => unreachable!(),
+        };
+        let mut stream = spec.build(16 << 20, seed).expect("valid spec builds");
+        prop_assert_eq!(stream.tenant_count(), windows.len());
+        let fp = stream.footprint_bytes();
+        for t in 0..6000u64 {
+            let tagged = stream.next_tagged();
+            let idx = tagged.tenant as usize;
+            prop_assert!(idx < windows.len());
+            prop_assert!(
+                windows[idx].contains(t),
+                "tenant {} served access {} outside its window [{}, {})",
+                idx, t, windows[idx].start, windows[idx].end
+            );
+            prop_assert!(tagged.entry.addr.0 < fp);
+        }
+    }
+}
