@@ -1,0 +1,143 @@
+//! Baseline pinning: pre-existing accepted findings live in a committed
+//! `audit-baseline.txt`; `check --baseline` fails only on findings *not*
+//! covered by it, so the lint set ratchets without requiring a big-bang
+//! cleanup of every `P01` at once.
+//!
+//! Entries are keyed `(code, file, message)` — deliberately **without line
+//! numbers**, so edits elsewhere in a file do not invalidate the pin. Keys
+//! are a multiset: two identical `.unwrap()` findings in one file need two
+//! baseline lines (`palermo-audit write-baseline` emits them).
+
+use crate::lints::{key_counts, Finding};
+use std::collections::BTreeMap;
+
+pub type Key = (String, String, String);
+
+/// Parses a baseline file. Lines are `CODE<TAB>file<TAB>message`; blank
+/// lines and `#` comments are ignored. Malformed lines are returned as
+/// errors with their 1-based line number.
+pub fn parse(text: &str) -> Result<BTreeMap<Key, usize>, String> {
+    let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(code), Some(file), Some(msg)) if !code.is_empty() && !file.is_empty() => {
+                *counts
+                    .entry((code.to_string(), file.to_string(), msg.to_string()))
+                    .or_insert(0) += 1;
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `CODE<TAB>file<TAB>message`, got `{line}`",
+                    n + 1
+                ));
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Renders findings as a baseline file (sorted, one line per instance).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# palermo-audit baseline — accepted pre-existing findings.\n\
+         # Format: CODE<TAB>file<TAB>message (line numbers intentionally omitted).\n\
+         # Regenerate with: cargo run -p palermo-audit -- write-baseline audit-baseline.txt\n",
+    );
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}\t{}\t{}", f.code, f.file, f.message))
+        .collect();
+    lines.sort();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Result of diffing current findings against a baseline.
+pub struct Diff {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Baseline entries with no matching finding anymore (fixed or moved) —
+    /// reported so the baseline can be shrunk, but never a failure.
+    pub stale: Vec<(Key, usize)>,
+}
+
+/// Diffs `findings` against `baseline` as multisets.
+pub fn diff(findings: &[Finding], baseline: &BTreeMap<Key, usize>) -> Diff {
+    let mut remaining = baseline.clone();
+    let mut new = Vec::new();
+    for f in findings {
+        let key = (f.code.to_string(), f.file.clone(), f.message.clone());
+        match remaining.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(f.clone()),
+        }
+    }
+    let stale = remaining.into_iter().filter(|(_, n)| *n > 0).collect();
+    Diff { new, stale }
+}
+
+/// Convenience: do current findings exactly consume the baseline?
+pub fn is_exact(findings: &[Finding], baseline: &BTreeMap<Key, usize>) -> bool {
+    key_counts(findings)
+        == baseline
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(k, n)| (k.clone(), *n))
+            .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: &'static str, file: &str, msg: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            code,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_multiset_semantics() {
+        let fs = vec![
+            finding("P01", "a.rs", "m"),
+            finding("P01", "a.rs", "m"),
+            finding("D01", "b.rs", "x"),
+        ];
+        let text = render(&fs);
+        let base = parse(&text).expect("rendered baseline parses");
+        let d = diff(&fs, &base);
+        assert!(d.new.is_empty());
+        assert!(d.stale.is_empty());
+        assert!(is_exact(&fs, &base));
+
+        // One extra instance of an already-pinned finding is still new.
+        let mut more = fs.clone();
+        more.push(finding("P01", "a.rs", "m"));
+        let d = diff(&more, &base);
+        assert_eq!(d.new.len(), 1);
+
+        // A fixed finding shows up as stale, not as a failure.
+        let d = diff(&fs[..2], &base);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].1, 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("# comment\n\nD01\tfile.rs\tmsg\n").is_ok());
+        assert!(parse("no tabs here\n").is_err());
+        assert!(parse("\tfile\tmsg\n").is_err());
+    }
+}

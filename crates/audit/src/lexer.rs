@@ -1,0 +1,460 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The audit lints only need a *token stream with line numbers* plus the
+//! comments (allow markers live there), so this is deliberately not a parser:
+//! no `syn`, no grammar. What it must get right — and what the fixture tests
+//! pin — is the lexical layer that naive `grep`-style lints get wrong:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments,
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#`s (`r#"…"#`),
+//! * char literals vs. lifetimes (`'a'` vs. `<'a>` vs. `'static`),
+//! * raw identifiers (`r#type`).
+//!
+//! A lint trigger such as `Instant::now` inside any of those must not fire.
+
+/// Token kinds the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `wrapping_mul`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `<`, `{`, …).
+    Punct,
+    /// String, raw-string, byte-string, char, or byte-char literal.
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`) — distinguished so `'a` is never a char.
+    Lifetime,
+}
+
+/// One lexed token. `text` is populated for `Ident` and `Punct` (the only
+/// kinds the lints match on); other kinds carry an empty string.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment, kept out of the token stream and scanned for allow markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// `true` when no token precedes the comment on its line (the marker
+    /// then applies to the *next* code line rather than its own).
+    pub standalone: bool,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into tokens + comments. Never fails: unknown bytes become
+/// punctuation, unterminated literals run to end of file.
+pub fn lex(src: &str) -> LexedFile {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_has_token: false,
+        out: LexedFile::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    line_has_token: bool,
+    out: LexedFile,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> LexedFile {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_token = false;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => self.raw_or_ident(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokKind::Punct, (c as char).to_string());
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+        self.line_has_token = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            standalone: !self.line_has_token,
+            text: self.src[start..self.i].to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let standalone = !self.line_has_token;
+        let mut depth = 1u32;
+        self.i += 2;
+        while self.i < self.b.len() && depth > 0 {
+            match self.b[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_token = false;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            // Multi-line block comments never transfer markers to the next
+            // line; allow markers belong in `//` comments.
+            standalone: standalone && self.line == start_line,
+            text: self.src[start..self.i].to_string(),
+        });
+    }
+
+    /// Consumes a `"…"` string with `\` escapes (cursor on the `"`).
+    fn string_literal(&mut self) {
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Literal, String::new());
+    }
+
+    /// Consumes a raw string starting at the `r` (after any `b`): `r"…"`,
+    /// `r#"…"#`, `r##"…"##`, … The closing quote must be followed by the
+    /// same number of `#`s.
+    fn raw_string(&mut self, hashes: usize) {
+        // Skip r, the hashes, and the opening quote.
+        self.i += 1 + hashes + 1;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.b[self.i] == b'"' {
+                let close = &self.b[self.i + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                    self.i += 1 + hashes;
+                    break;
+                }
+            }
+            self.i += 1;
+        }
+        self.push(TokKind::Literal, String::new());
+    }
+
+    /// Cursor on a `'`: char literal or lifetime.
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip until the closing quote.
+                self.i += 2;
+                while self.i < self.b.len() {
+                    match self.b[self.i] {
+                        b'\\' => self.i += 2,
+                        b'\'' => {
+                            self.i += 1;
+                            break;
+                        }
+                        _ => self.i += 1,
+                    }
+                }
+                self.push(TokKind::Literal, String::new());
+            }
+            Some(c) => {
+                // `'X'` (X possibly multi-byte) is a char literal; `'ident`
+                // not followed by a quote is a lifetime.
+                let char_len = self.src[self.i + 1..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                if self.peek(1 + char_len) == Some(b'\'') {
+                    self.i += 2 + char_len;
+                    self.push(TokKind::Literal, String::new());
+                } else if is_ident_start(c) {
+                    self.i += 1;
+                    while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    self.push(TokKind::Lifetime, String::new());
+                } else {
+                    self.push(TokKind::Punct, "'".to_string());
+                    self.i += 1;
+                }
+            }
+            None => {
+                self.push(TokKind::Punct, "'".to_string());
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Cursor on `r` or `b`: raw string, byte string, byte char, raw ident,
+    /// or a plain identifier starting with that letter.
+    fn raw_or_ident(&mut self) {
+        let c = self.b[self.i];
+        if c == b'r' {
+            match self.peek(1) {
+                Some(b'"') => return self.raw_string(0),
+                Some(b'#') => {
+                    let mut hashes = 0;
+                    while self.peek(1 + hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    if self.peek(1 + hashes) == Some(b'"') {
+                        return self.raw_string(hashes);
+                    }
+                    if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                        // Raw identifier r#type: emit the ident itself.
+                        self.i += 2;
+                        return self.ident();
+                    }
+                }
+                _ => {}
+            }
+        } else {
+            // b"…", br"…", br#"…"#, b'…'
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return self.string_literal();
+                }
+                Some(b'\'') => {
+                    self.i += 1;
+                    return self.char_or_lifetime();
+                }
+                Some(b'r') => {
+                    let mut hashes = 0;
+                    while self.peek(2 + hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some(b'"') {
+                        self.i += 1;
+                        return self.raw_string(hashes);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.ident();
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = self.src[start..self.i].to_string();
+        self.push(TokKind::Ident, text);
+    }
+
+    fn number(&mut self) {
+        let hex = self.b[self.i] == b'0' && matches!(self.peek(1), Some(b'x') | Some(b'X'));
+        self.i += 1;
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if is_ident_continue(c) {
+                self.i += 1;
+            } else if c == b'.' {
+                // `0..n` is a range and `1.max(2)` a method call, not a
+                // fractional part.
+                match self.peek(1) {
+                    Some(n) if n == b'.' || is_ident_start(n) => break,
+                    _ => self.i += 1,
+                }
+            } else if (c == b'+' || c == b'-') && !hex && matches!(self.b[self.i - 1], b'e' | b'E')
+            {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, String::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn triggers_inside_strings_and_comments_do_not_tokenize() {
+        let src = r##"
+            // Instant::now() in a line comment
+            /* for x in map.iter() { .unwrap() } */
+            let a = "Instant::now()";
+            let b = r#"HashMap::new().iter()"#;
+            let c = b"SystemTime::now()";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(!ids.iter().any(|i| i == "iter"));
+        assert_eq!(
+            ids,
+            vec!["let", "a", "let", "b", "let", "c"],
+            "only the real code tokenizes"
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' } // 'y'";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2, "two lifetimes: decl + use");
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(literals, 1, "one char literal");
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_end_it() {
+        let src = r#"let s = "a \" .unwrap() \" b"; done"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ real";
+        assert_eq!(idents(src), vec!["real"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r##"quote " and "# end"##; tail"###;
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn byte_char_with_escape() {
+        let src = r"let c = b'\''; let d = b'\n'; tail";
+        assert_eq!(idents(src), vec!["let", "c", "let", "d", "tail"]);
+    }
+
+    #[test]
+    fn comment_standalone_flag() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].standalone);
+        assert!(lexed.comments[1].standalone);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = 1;";
+        assert_eq!(idents(src), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..n { let x = 1.0e-5; let y = 2.max(i); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"n".to_string()));
+        assert!(ids.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;\n";
+        let lexed = lex(src);
+        let b_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "b")
+            .expect("token b");
+        assert_eq!(b_tok.line, 3);
+    }
+}

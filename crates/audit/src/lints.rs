@@ -1,0 +1,681 @@
+//! The repo-specific determinism & invariant lints.
+//!
+//! Every lint operates on the token stream from [`crate::lexer`] — no type
+//! information, so each rule is a documented heuristic tuned to this
+//! workspace's idioms. False negatives are acceptable (the lints are a
+//! ratchet, not a verifier); false positives are answered with an
+//! `audit:allow` marker carrying a justification, which is the point: the
+//! determinism contract becomes grep-able at the use site.
+//!
+//! | code | slug          | fires on |
+//! |------|---------------|----------|
+//! | D01  | map-iter      | `HashMap`/`HashSet` type declarations, and iteration (`iter`/`keys`/`values`/`drain`/`retain`/`into_iter`/`for`) over bindings declared with those types |
+//! | D02  | ambient-state | `Instant::now`, `SystemTime`, `std::env::var*`, `temp_dir`, `available_parallelism` in sim/controller/dram/oram/workloads code |
+//! | D03  | nondet-id     | `as *const`/`as *mut` pointer casts, `thread::current`, `ThreadId` |
+//! | D04  | wrapping      | `wrapping_*` arithmetic outside `oram::crypto` and `workloads::zipf` |
+//! | P01  | unwrap        | `.unwrap()` / `.expect(…)` in library code |
+//! | A01  | —             | malformed or unknown `audit:allow` marker |
+//! | A02  | —             | `audit:allow` marker without a justification |
+//!
+//! Code inside `#[cfg(test)]` / `#[test]` items is exempt from D01–P01
+//! ("non-test code" in the lint definitions); the workspace walker
+//! additionally skips `tests/`, `benches/`, `examples/` and `fixtures/`
+//! directories entirely.
+//!
+//! Allow markers:
+//!
+//! ```text
+//! let x = map.keys().min(); // audit:allow(map-iter, order-insensitive min)
+//! // audit:allow(wrapping, LCG constant from Numerical Recipes)
+//! seed = seed.wrapping_mul(K);
+//! // audit:allow-file(wrapping, PRNG core is defined by wrapping arithmetic)
+//! ```
+//!
+//! A trailing marker covers its own line; a standalone marker line covers the
+//! next line that holds any token; `allow-file` covers the whole file. The
+//! justification is mandatory (A02 otherwise) and the finding stays live.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One lint finding, formatted as `file:line CODE message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.code, self.message
+        )
+    }
+}
+
+/// `(code, slug, summary)` for every lint, used by `--help` and the README.
+pub const LINTS: &[(&str, &str, &str)] = &[
+    (
+        "D01",
+        "map-iter",
+        "HashMap/HashSet declaration or iteration (nondeterministic order)",
+    ),
+    (
+        "D02",
+        "ambient-state",
+        "wall-clock or environment read in simulation code",
+    ),
+    (
+        "D03",
+        "nondet-id",
+        "pointer-as-integer cast or thread identity",
+    ),
+    (
+        "D04",
+        "wrapping",
+        "wrapping_* arithmetic outside sanctioned modules",
+    ),
+    ("P01", "unwrap", "unwrap()/expect() in library code"),
+];
+
+fn selector_to_code(sel: &str) -> Option<&'static str> {
+    LINTS
+        .iter()
+        .find(|(code, slug, _)| sel.eq_ignore_ascii_case(code) || sel == *slug)
+        .map(|(code, _, _)| *code)
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+const ENV_FNS: &[&str] = &["var", "var_os", "vars", "vars_os", "temp_dir"];
+
+/// Crates whose simulation results must be a pure function of the seed; D02
+/// fires only here (bench code, for instance, legitimately reads env knobs).
+fn d02_in_scope(path: &str) -> bool {
+    const SCOPES: &[&str] = &[
+        "crates/sim/",
+        "crates/controller/",
+        "crates/dram/",
+        "crates/oram/",
+        "crates/workloads/",
+    ];
+    SCOPES.iter().any(|s| path.starts_with(s)) || path.starts_with("src/")
+}
+
+/// Modules whose whole point is modular arithmetic (AES-CTR-style payload
+/// mixing, Feistel scrambling); D04 is exempt there by construction.
+fn d04_exempt(path: &str) -> bool {
+    path.ends_with("crates/oram/src/crypto.rs") || path.ends_with("crates/workloads/src/zipf.rs")
+}
+
+struct Marker {
+    /// Line of the marker comment.
+    line: u32,
+    /// For standalone markers: the next line holding a token (the line the
+    /// marker protects). `None` for trailing or file-level markers.
+    covers_line: Option<u32>,
+    code: &'static str,
+    file_level: bool,
+}
+
+/// Parses `audit:allow(...)` / `audit:allow-file(...)` markers out of the
+/// comments. Malformed markers become A01/A02 findings and never suppress.
+fn parse_markers(
+    file: &str,
+    comments: &[Comment],
+    token_lines: &[u32],
+    problems: &mut Vec<Finding>,
+) -> Vec<Marker> {
+    let mut markers = Vec::new();
+    for c in comments {
+        // Markers live in plain `//` comments only: doc comments *describe*
+        // the marker syntax (this crate's own docs included) without being
+        // annotations themselves.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = c.text.find("audit:allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "audit:allow".len()..];
+        let (file_level, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let inner = rest
+            .strip_prefix('(')
+            .and_then(|r| r.rfind(')').map(|end| &r[..end]));
+        let Some(inner) = inner else {
+            problems.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                code: "A01",
+                message: "malformed audit:allow marker — expected \
+                          audit:allow(<lint>, <reason>)"
+                    .to_string(),
+            });
+            continue;
+        };
+        let (sel, reason) = match inner.split_once(',') {
+            Some((s, r)) => (s.trim(), r.trim()),
+            None => (inner.trim(), ""),
+        };
+        let Some(code) = selector_to_code(sel) else {
+            problems.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                code: "A01",
+                message: format!("unknown lint `{sel}` in audit:allow marker"),
+            });
+            continue;
+        };
+        if reason.is_empty() {
+            problems.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                code: "A02",
+                message: format!(
+                    "audit:allow({sel}) marker has no justification — the reason is the contract"
+                ),
+            });
+            continue;
+        }
+        let covers_line = if !file_level && c.standalone {
+            token_lines.iter().find(|&&l| l > c.line).copied()
+        } else {
+            None
+        };
+        markers.push(Marker {
+            line: c.line,
+            covers_line,
+            code,
+            file_level,
+        });
+    }
+    markers
+}
+
+fn suppressed(markers: &[Marker], code: &str, line: u32) -> bool {
+    markers
+        .iter()
+        .any(|m| m.code == code && (m.file_level || m.line == line || m.covers_line == Some(line)))
+}
+
+/// Token ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut k = 0;
+    while k + 1 < toks.len() {
+        if !(is_punct(&toks[k], '#') && is_punct(&toks[k + 1], '[')) {
+            k += 1;
+            continue;
+        }
+        let Some(attr_close) = match_bracket(toks, k + 1, '[', ']') else {
+            break;
+        };
+        if !attr_is_testish(toks, k + 2, attr_close) {
+            k = attr_close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = attr_close + 1;
+        while j + 1 < toks.len() && is_punct(&toks[j], '#') && is_punct(&toks[j + 1], '[') {
+            match match_bracket(toks, j + 1, '[', ']') {
+                Some(c) => j = c + 1,
+                None => return regions,
+            }
+        }
+        // The item ends at the first top-level `;`, or at the brace matching
+        // its first top-level `{` (fn/mod/impl body).
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut end = None;
+        while j < toks.len() {
+            if toks[j].kind == TokKind::Punct {
+                match toks[j].text.as_bytes() {
+                    b"(" => paren += 1,
+                    b")" => paren -= 1,
+                    b"[" => bracket += 1,
+                    b"]" => bracket -= 1,
+                    b";" if paren == 0 && bracket == 0 => {
+                        end = Some(j);
+                        break;
+                    }
+                    b"{" if paren == 0 && bracket == 0 => {
+                        end = match_bracket(toks, j, '{', '}');
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        match end {
+            Some(e) => {
+                regions.push((k, e));
+                k = e + 1;
+            }
+            None => break,
+        }
+    }
+    regions
+}
+
+/// `true` when token `k` sits inside a `use …;` item — importing a name is
+/// not using it (relevant to bare-identifier rules like `SystemTime`).
+fn in_use_statement(toks: &[Token], k: usize) -> bool {
+    let mut j = k;
+    let mut steps = 0;
+    while j > 0 && steps < 32 {
+        j -= 1;
+        steps += 1;
+        let t = &toks[j];
+        // Walking backward from inside a `use a::{B, C};` group only ever
+        // crosses `{`, `,` and path tokens before reaching `use`; a `;` or
+        // `}` means we left the candidate statement.
+        if is_punct(t, ';') || is_punct(t, '}') {
+            return false;
+        }
+        if is_ident(t, "use") {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokKind::Punct && t.text.len() == 1 && t.text.as_bytes()[0] == c as u8
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn match_bracket(toks: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if is_punct(t, open) {
+            depth += 1;
+        } else if is_punct(t, close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` are test-ish;
+/// `#[cfg(not(test))]` is not.
+fn attr_is_testish(toks: &[Token], start: usize, end: usize) -> bool {
+    for k in start..end {
+        if !is_ident(&toks[k], "test") {
+            continue;
+        }
+        if k == start {
+            return true; // exactly #[test]
+        }
+        if is_punct(&toks[k - 1], ',') {
+            return true;
+        }
+        if is_punct(&toks[k - 1], '(') {
+            let negated = k >= 2 && is_ident(&toks[k - 2], "not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Names of type aliases defined in this file that resolve to a hash map
+/// type (`type IdMap<V> = HashMap<u64, V, …>;`).
+fn collect_aliases(toks: &[Token]) -> BTreeSet<String> {
+    let mut aliases = BTreeSet::new();
+    let mut k = 0;
+    while k + 1 < toks.len() {
+        if is_ident(&toks[k], "type") && toks[k + 1].kind == TokKind::Ident {
+            let name = toks[k + 1].text.clone();
+            let mut j = k + 2;
+            let mut is_map = false;
+            while j < toks.len() && !is_punct(&toks[j], ';') {
+                if is_ident(&toks[j], "HashMap") || is_ident(&toks[j], "HashSet") {
+                    is_map = true;
+                }
+                j += 1;
+            }
+            if is_map {
+                aliases.insert(name);
+            }
+            k = j;
+        }
+        k += 1;
+    }
+    aliases
+}
+
+/// Bindings (fields, params, `let`s) declared with a hash map type in this
+/// file. Purely lexical: a same-named binding of a different type elsewhere
+/// in the file is a tolerated false positive, answered with a marker.
+fn collect_tracked(toks: &[Token], map_types: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for (t, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || !map_types.contains(&tok.text) {
+            continue;
+        }
+        // Typed declaration: `name: [path::]MapType<…>`.
+        let mut j = t;
+        while j >= 3
+            && is_punct(&toks[j - 1], ':')
+            && is_punct(&toks[j - 2], ':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3; // step over one `seg::` of the path prefix
+        }
+        if j >= 2 && is_punct(&toks[j - 1], ':') && !is_punct(&toks[j - 2], ':') {
+            if toks[j - 2].kind == TokKind::Ident {
+                tracked.insert(toks[j - 2].text.clone());
+            }
+            continue;
+        }
+        // Untyped binding: `let [mut] name = … MapType::new()`.
+        let mut back = t;
+        let mut steps = 0;
+        while back > 0 && steps < 64 {
+            back -= 1;
+            steps += 1;
+            let b = &toks[back];
+            if is_punct(b, ';') || is_punct(b, '{') || is_punct(b, '}') {
+                break;
+            }
+            if is_ident(b, "let") {
+                let mut n = back + 1;
+                if n < toks.len() && is_ident(&toks[n], "mut") {
+                    n += 1;
+                }
+                if n < toks.len() && toks[n].kind == TokKind::Ident {
+                    tracked.insert(toks[n].text.clone());
+                }
+                break;
+            }
+        }
+    }
+    tracked
+}
+
+/// Runs every lint over one file. `rel_path` must be the path relative to
+/// the workspace root (it drives the per-lint scoping rules).
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let token_lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+    let mut problems = Vec::new();
+    let markers = parse_markers(rel_path, &lexed.comments, &token_lines, &mut problems);
+    let regions = test_regions(toks);
+    let in_test = |idx: usize| regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+
+    let mut raw: Vec<(usize, Finding)> = Vec::new();
+    let mut push = |idx: usize, code: &'static str, message: String| {
+        raw.push((
+            idx,
+            Finding {
+                file: rel_path.to_string(),
+                line: toks[idx].line,
+                code,
+                message,
+            },
+        ));
+    };
+
+    // ---- D01: hash-ordered collections ----
+    let mut map_types: BTreeSet<String> = ["HashMap", "HashSet"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    map_types.extend(collect_aliases(toks));
+    let tracked = collect_tracked(toks, &map_types);
+
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Declarations: `HashMap<…>` / `HashSet<…>` in type position.
+        if (t.text == "HashMap" || t.text == "HashSet")
+            && k + 1 < toks.len()
+            && is_punct(&toks[k + 1], '<')
+        {
+            push(
+                k,
+                "D01",
+                format!(
+                    "`{}<…>` declared — hash iteration order is nondeterministic; use a \
+                     BTree collection, a deterministic hasher, or annotate \
+                     audit:allow(map-iter, …)",
+                    t.text
+                ),
+            );
+        }
+        // Iteration methods on tracked bindings: `name.iter()` etc.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && k >= 2
+            && k + 1 < toks.len()
+            && is_punct(&toks[k + 1], '(')
+            && is_punct(&toks[k - 1], '.')
+            && toks[k - 2].kind == TokKind::Ident
+            && tracked.contains(&toks[k - 2].text)
+        {
+            push(
+                k,
+                "D01",
+                format!(
+                    "iteration `{}.{}()` over a hash-ordered collection",
+                    toks[k - 2].text,
+                    t.text
+                ),
+            );
+        }
+        // `for … in <expr mentioning a tracked binding> {`
+        if is_ident(t, "for") {
+            let mut j = k + 1;
+            let limit = (k + 40).min(toks.len());
+            while j < limit && !is_ident(&toks[j], "in") {
+                if is_punct(&toks[j], '{') || is_punct(&toks[j], ';') {
+                    j = limit;
+                }
+                j += 1;
+            }
+            if j < limit {
+                let expr_limit = (j + 60).min(toks.len());
+                for et in &toks[j + 1..expr_limit] {
+                    if is_punct(et, '{') {
+                        break;
+                    }
+                    if et.kind == TokKind::Ident && tracked.contains(&et.text) {
+                        push(
+                            k,
+                            "D01",
+                            format!("`for` loop over hash-ordered collection `{}`", et.text),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- D02: ambient-state reads ----
+    if d02_in_scope(rel_path) {
+        for k in 0..toks.len() {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let calls = |name: &str| {
+                k + 3 < toks.len()
+                    && is_punct(&toks[k + 1], ':')
+                    && is_punct(&toks[k + 2], ':')
+                    && is_ident(&toks[k + 3], name)
+            };
+            if is_ident(t, "Instant") && calls("now") {
+                push(
+                    k,
+                    "D02",
+                    "wall-clock read `Instant::now()` in simulation code".into(),
+                );
+            } else if is_ident(t, "SystemTime") && !in_use_statement(toks, k) {
+                push(
+                    k,
+                    "D02",
+                    "wall-clock type `SystemTime` in simulation code".into(),
+                );
+            } else if is_ident(t, "env")
+                && k + 3 < toks.len()
+                && is_punct(&toks[k + 1], ':')
+                && is_punct(&toks[k + 2], ':')
+                && toks[k + 3].kind == TokKind::Ident
+                && ENV_FNS.contains(&toks[k + 3].text.as_str())
+            {
+                push(
+                    k,
+                    "D02",
+                    format!(
+                        "environment read `env::{}` in simulation code",
+                        toks[k + 3].text
+                    ),
+                );
+            } else if is_ident(t, "available_parallelism") {
+                push(
+                    k,
+                    "D02",
+                    "`available_parallelism` is ambient machine state".into(),
+                );
+            }
+        }
+    }
+
+    // ---- D03: nondeterministic identities ----
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if is_ident(t, "as")
+            && k + 2 < toks.len()
+            && is_punct(&toks[k + 1], '*')
+            && (is_ident(&toks[k + 2], "const") || is_ident(&toks[k + 2], "mut"))
+        {
+            push(
+                k,
+                "D03",
+                "pointer cast — addresses vary per run and must never feed RunMetrics".into(),
+            );
+        } else if is_ident(t, "thread")
+            && k + 3 < toks.len()
+            && is_punct(&toks[k + 1], ':')
+            && is_punct(&toks[k + 2], ':')
+            && is_ident(&toks[k + 3], "current")
+        {
+            push(k, "D03", "thread identity read `thread::current()`".into());
+        } else if is_ident(t, "ThreadId") && !in_use_statement(toks, k) {
+            push(
+                k,
+                "D03",
+                "`ThreadId` is nondeterministic across runs".into(),
+            );
+        }
+    }
+
+    // ---- D04: wrapping arithmetic ----
+    if !d04_exempt(rel_path) {
+        for (k, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident && t.text.starts_with("wrapping_") {
+                push(
+                    k,
+                    "D04",
+                    format!(
+                        "`{}` outside oram::crypto/workloads::zipf — wrapping arithmetic \
+                         masks overflow bugs (annotate wrapping if modular math is intended)",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- P01: unwrap/expect in library code ----
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && k >= 1
+            && k + 1 < toks.len()
+            && is_punct(&toks[k - 1], '.')
+            && is_punct(&toks[k + 1], '(')
+        {
+            push(
+                k,
+                "P01",
+                format!(
+                    "`.{}()` in library code — return an error or pin in the audit baseline",
+                    t.text
+                ),
+            );
+        }
+    }
+
+    // Test-region exemption, marker suppression, per-(line, code) dedup.
+    let mut findings = problems;
+    let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+    for (idx, f) in raw {
+        if in_test(idx) || suppressed(&markers, f.code, f.line) {
+            continue;
+        }
+        if seen.insert((f.line, f.code)) {
+            findings.push(f);
+        }
+    }
+    findings.sort();
+    findings
+}
+
+/// Per-file findings aggregated over a (path, source) list, sorted.
+pub fn scan_files(files: &[(String, String)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (path, src) in files {
+        out.extend(scan_source(path, src));
+    }
+    out.sort();
+    out
+}
+
+/// Multiset of finding keys (line numbers dropped so edits above a pinned
+/// finding do not invalidate the baseline).
+pub fn key_counts(findings: &[Finding]) -> BTreeMap<(String, String, String), usize> {
+    let mut counts = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.code.to_string(), f.file.clone(), f.message.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}

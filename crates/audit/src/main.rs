@@ -1,0 +1,141 @@
+//! CLI for the determinism & invariant audit.
+//!
+//! ```text
+//! palermo-audit check [--baseline FILE] [--root DIR]   # exit 1 on (new) findings
+//! palermo-audit list [--root DIR]                      # print every finding
+//! palermo-audit write-baseline FILE [--root DIR]       # pin current findings
+//! palermo-audit lints                                  # list lint codes
+//! ```
+//!
+//! Findings print as `file:line CODE message` — CI surfaces them verbatim.
+
+use palermo_audit::lints::LINTS;
+use palermo_audit::{audit_workspace, baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    baseline: Option<PathBuf>,
+    root: PathBuf,
+    positional: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: palermo-audit <check|list|write-baseline|lints> \
+                     [--baseline FILE] [--root DIR] [FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or(USAGE)?;
+    let mut args = Args {
+        command,
+        baseline: None,
+        root: PathBuf::from("."),
+        positional: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--baseline" => {
+                let v = argv.next().ok_or("--baseline needs a file argument")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a directory argument")?;
+                args.root = PathBuf::from(v);
+            }
+            _ if !a.starts_with('-') && args.positional.is_none() => {
+                args.positional = Some(PathBuf::from(a));
+            }
+            _ => return Err(format!("unrecognized argument `{a}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "lints" => {
+            for (code, slug, summary) in LINTS {
+                println!("{code} ({slug}): {summary}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "list" => {
+            let findings =
+                audit_workspace(&args.root).map_err(|e| format!("workspace walk failed: {e}"))?;
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("audit: {} finding(s)", findings.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "write-baseline" => {
+            let path = args
+                .positional
+                .ok_or("write-baseline needs a target file argument")?;
+            let findings =
+                audit_workspace(&args.root).map_err(|e| format!("workspace walk failed: {e}"))?;
+            std::fs::write(&path, baseline::render(&findings))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "audit: pinned {} finding(s) to {}",
+                findings.len(),
+                path.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let findings =
+                audit_workspace(&args.root).map_err(|e| format!("workspace walk failed: {e}"))?;
+            let Some(baseline_path) = args.baseline else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                return if findings.is_empty() {
+                    println!("audit: clean");
+                    Ok(ExitCode::SUCCESS)
+                } else {
+                    println!("audit: {} finding(s)", findings.len());
+                    Ok(ExitCode::FAILURE)
+                };
+            };
+            let text = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+            let base = baseline::parse(&text)?;
+            let diff = baseline::diff(&findings, &base);
+            for f in &diff.new {
+                println!("{f}");
+            }
+            for ((code, file, msg), n) in &diff.stale {
+                eprintln!(
+                    "note: stale baseline entry ({n}x): {code} {file} {msg} — \
+                     fixed? shrink the baseline with write-baseline"
+                );
+            }
+            let pinned = findings.len() - diff.new.len();
+            if diff.new.is_empty() {
+                println!("audit: clean ({pinned} baselined finding(s))");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "audit: {} NEW finding(s) ({pinned} baselined) — fix them or justify \
+                     with audit:allow(<lint>, <reason>)",
+                    diff.new.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("palermo-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

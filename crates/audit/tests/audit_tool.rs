@@ -1,0 +1,231 @@
+//! End-to-end tests for `palermo-audit` over the checked-in fixture tree
+//! (`tests/fixture_tree/`): per-lint detection with pinned lines, allow
+//! markers, baseline diffing, and CLI exit codes.
+
+use palermo_audit::{audit_workspace, baseline, lints};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixture_tree")
+}
+
+fn fixture_findings() -> Vec<lints::Finding> {
+    audit_workspace(&fixture_root()).expect("fixture tree walks")
+}
+
+/// The exact (file, line, code) triples the fixture tree must produce. Every
+/// lint class appears; every suppression/exemption path is a *hole* in this
+/// list at a known location.
+const EXPECTED: &[(&str, u32, &str)] = &[
+    ("crates/demo/src/d01.rs", 5, "D01"),  // HashMap<…> field decl
+    ("crates/demo/src/d01.rs", 8, "D01"),  // HashSet<…> type alias
+    ("crates/demo/src/d01.rs", 12, "D01"), // for over tracked field
+    ("crates/demo/src/d01.rs", 21, "D01"), // for over tracked let binding
+    ("crates/demo/src/d01.rs", 37, "D01"), // .retain() on tracked field
+    ("crates/demo/src/d03.rs", 4, "D03"),  // as *const
+    ("crates/demo/src/d03.rs", 9, "D03"),  // thread::current()
+    ("crates/demo/src/d03.rs", 12, "D03"), // ThreadId in type position
+    ("crates/demo/src/d04.rs", 4, "D04"),  // wrapping_mul outside crypto/zipf
+    ("crates/demo/src/lexing.rs", 31, "P01"), // the only live token in the file
+    ("crates/demo/src/markers.rs", 5, "A01"), // unknown lint selector
+    ("crates/demo/src/markers.rs", 6, "P01"), // …which therefore suppresses nothing
+    ("crates/demo/src/markers.rs", 10, "A02"), // marker without justification
+    ("crates/demo/src/markers.rs", 11, "P01"), // …suppresses nothing either
+    ("crates/demo/src/markers.rs", 15, "A01"), // marker without parentheses
+    ("crates/demo/src/markers.rs", 16, "P01"),
+    ("crates/demo/src/p01.rs", 4, "P01"), // .unwrap() in library fn
+    ("crates/demo/src/p01.rs", 8, "P01"), // .expect() in library fn
+    ("crates/sim/src/d02.rs", 5, "D02"),  // Instant::now()
+    ("crates/sim/src/d02.rs", 6, "D02"),  // SystemTime::now()
+    ("crates/sim/src/d02.rs", 11, "D02"), // std::env::var
+    ("crates/sim/src/d02.rs", 15, "D02"), // available_parallelism
+];
+
+#[test]
+fn fixture_tree_produces_exactly_the_pinned_findings() {
+    let got: Vec<(String, u32, &str)> = fixture_findings()
+        .into_iter()
+        .map(|f| (f.file, f.line, f.code))
+        .collect();
+    let want: Vec<(String, u32, &str)> = EXPECTED
+        .iter()
+        .map(|&(f, l, c)| (f.to_string(), l, c))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn every_lint_class_is_detected_on_fixtures() {
+    let findings = fixture_findings();
+    for (code, _, _) in lints::LINTS {
+        assert!(
+            findings.iter().any(|f| f.code == *code),
+            "lint {code} has no fixture coverage"
+        );
+    }
+    for code in ["A01", "A02"] {
+        assert!(
+            findings.iter().any(|f| f.code == code),
+            "marker-hygiene code {code} has no fixture coverage"
+        );
+    }
+}
+
+#[test]
+fn suppressions_and_exemptions_leave_holes_where_designed() {
+    let findings = fixture_findings();
+    let none_at = |file: &str, line: u32| {
+        assert!(
+            !findings.iter().any(|f| f.file == file && f.line == line),
+            "{file}:{line} should be suppressed/exempt"
+        );
+    };
+    // Standalone allow marker covers the next code line.
+    none_at("crates/demo/src/d01.rs", 33);
+    none_at("crates/demo/src/d03.rs", 18);
+    none_at("crates/demo/src/d04.rs", 13);
+    none_at("crates/sim/src/d02.rs", 22);
+    // Trailing marker covers its own line; code selector `P01` works too.
+    none_at("crates/demo/src/markers.rs", 24);
+    none_at("crates/demo/src/markers.rs", 29);
+    // File-level allow and path exemptions wipe whole files.
+    assert!(!findings
+        .iter()
+        .any(|f| f.file.contains("d04_file_allow") || f.file.contains("crypto")));
+    // D02 only applies to the sim/controller/dram/oram/workloads scopes.
+    assert!(!findings.iter().any(|f| f.file.contains("bench_like")));
+    // `use` statements import names without using them.
+    none_at("crates/sim/src/d02.rs", 2);
+    // env!() is compile-time, not an ambient read.
+    none_at("crates/sim/src/d02.rs", 18);
+    // Keyed-only access to an untracked local map is not iteration.
+    none_at("crates/demo/src/d01.rs", 27);
+    // Test code (bare #[test] fns and #[cfg(test)] modules) is exempt.
+    assert!(!findings
+        .iter()
+        .any(|f| f.file.ends_with("p01.rs") && f.line > 10));
+    assert!(!findings
+        .iter()
+        .any(|f| f.file.ends_with("d01.rs") && f.line > 40));
+}
+
+#[test]
+fn baseline_round_trips_and_ratchets() {
+    let findings = fixture_findings();
+    let text = baseline::render(&findings);
+    let base = baseline::parse(&text).expect("rendered baseline parses");
+    let diff = baseline::diff(&findings, &base);
+    assert!(diff.new.is_empty(), "own baseline must cover everything");
+    assert!(diff.stale.is_empty());
+    assert!(baseline::is_exact(&findings, &base));
+
+    // Dropping one pinned entry turns exactly that finding into a failure.
+    let slim: Vec<lints::Finding> = findings[1..].to_vec();
+    let slim_base = baseline::parse(&baseline::render(&slim)).expect("parses");
+    let diff = baseline::diff(&findings, &slim_base);
+    assert_eq!(diff.new.len(), 1);
+    assert_eq!(diff.new[0].file, findings[0].file);
+
+    // A fixed finding leaves a stale entry — reported, never fatal.
+    let diff = baseline::diff(&slim, &base);
+    assert!(diff.new.is_empty());
+    assert_eq!(diff.stale.len(), 1);
+}
+
+fn audit_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_palermo-audit"))
+}
+
+#[test]
+fn cli_check_fails_without_baseline_and_passes_with_it() {
+    let root = fixture_root();
+    let out = audit_cmd()
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "findings without baseline fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/p01.rs:4 P01"),
+        "findings print as file:line CODE message, got:\n{stdout}"
+    );
+
+    let dir = std::env::temp_dir().join("palermo_audit_cli_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let base_path = dir.join("baseline.txt");
+    let out = audit_cmd()
+        .args(["write-baseline"])
+        .arg(&base_path)
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = audit_cmd()
+        .args(["check", "--baseline"])
+        .arg(&base_path)
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("audit: clean"));
+
+    // Malformed baseline: usage/configuration error, distinct exit code.
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "this line has no tabs\n").expect("write");
+    let out = audit_cmd()
+        .args(["check", "--baseline"])
+        .arg(&bad)
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_lints_lists_every_code() {
+    let out = audit_cmd().arg("lints").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for (code, slug, _) in lints::LINTS {
+        assert!(stdout.contains(code) && stdout.contains(slug));
+    }
+}
+
+/// The audit must pass on its own workspace: the committed baseline exactly
+/// covers the current findings (no new, no stale). This is the same gate CI
+/// runs, kept as a test so `cargo test --workspace` catches drift locally.
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists");
+    let findings = audit_workspace(workspace_root).expect("workspace walks");
+    let text = std::fs::read_to_string(workspace_root.join("audit-baseline.txt"))
+        .expect("audit-baseline.txt is committed at the workspace root");
+    let base = baseline::parse(&text).expect("committed baseline parses");
+    let diff = baseline::diff(&findings, &base);
+    let new: Vec<String> = diff.new.iter().map(ToString::to_string).collect();
+    assert!(
+        new.is_empty(),
+        "new audit findings not covered by audit-baseline.txt:\n{}",
+        new.join("\n")
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries (fixed findings still pinned): {:?}",
+        diff.stale
+    );
+}

@@ -1,0 +1,13 @@
+//! D02 is scoped to sim/controller/dram/oram/workloads: bench-style crates
+//! legitimately read wall clocks and env knobs.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos()
+}
+
+pub fn knob() -> Option<String> {
+    std::env::var("PALERMO_BENCH_REQUESTS").ok()
+}

@@ -1,0 +1,51 @@
+//! D01 fixture: hash-ordered collection declarations and iteration.
+use std::collections::{HashMap, HashSet};
+
+pub struct Holder {
+    pub counts: HashMap<u64, u64>,
+}
+
+type Aliased = HashSet<u32>;
+
+pub fn iterate(h: &Holder) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in h.counts.iter() {
+        sum += *v;
+    }
+    sum
+}
+
+pub fn for_loop_over_binding() {
+    let mut set = HashSet::new();
+    set.insert(1u32);
+    for x in &set {
+        let _ = x;
+    }
+}
+
+pub fn keyed_only_untracked() -> Option<u64> {
+    let lookup = HashMap::from([(1u64, 2u64)]);
+    lookup.get(&1).copied()
+}
+
+pub fn allowed_iteration(h: &Holder) -> Option<u64> {
+    // audit:allow(map-iter, order-insensitive max over values)
+    h.counts.values().copied().max()
+}
+
+pub fn retained(h: &mut Holder) {
+    h.counts.retain(|_, v| *v > 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        for (_a, _b) in m.iter() {}
+        let _ = Aliased::new();
+    }
+}

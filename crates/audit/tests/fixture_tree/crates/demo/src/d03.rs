@@ -1,0 +1,19 @@
+//! D03 fixture: values that differ between identical runs.
+
+pub fn addr_of(x: &u64) -> usize {
+    let p = x as *const u64;
+    p as usize
+}
+
+pub fn current_thread_name() -> Option<String> {
+    std::thread::current().name().map(str::to_string)
+}
+
+pub fn id_key(id: std::thread::ThreadId) -> String {
+    format!("{id:?}")
+}
+
+pub fn justified(x: &u64) -> *const u64 {
+    // audit:allow(nondet-id, debug-print pointer, never stored or compared)
+    x as *const u64
+}

@@ -1,0 +1,14 @@
+//! D04 fixture: wrapping arithmetic outside the sanctioned modules.
+
+pub fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005).wrapping_add(1)
+}
+
+pub fn saturating_is_fine(x: u64) -> u64 {
+    x.saturating_mul(2)
+}
+
+pub fn justified(x: u64) -> u64 {
+    // audit:allow(wrapping, fixture-sanctioned modular mix)
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,11 @@
+//! D04 fixture: a file-level allow covers every instance in the file.
+
+// audit:allow-file(wrapping, this whole module implements modular mixing)
+
+pub fn mix(x: u64) -> u64 {
+    x.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+pub fn mix2(x: u64) -> u64 {
+    x.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(5)
+}

@@ -1,0 +1,32 @@
+//! Tricky-lexing fixture: every lint trigger below is inside a string, a
+//! char literal, or a comment, and must not fire. One real finding at the
+//! end proves the scanner kept going.
+
+pub fn strings() -> (&'static str, &'static str, &'static str) {
+    let a = "Instant::now() and map.iter() and x.unwrap()";
+    let b = r#"SystemTime plus x.wrapping_mul(3) and thread::current()"#;
+    let c = "escaped \" .unwrap() \" still one string";
+    (a, b, c)
+}
+
+// for x in set.iter() { Instant::now().unwrap() }
+/* block comment: SystemTime, wrapping_mul, thread::current()
+   /* nested: HashMap<u64, u64> and HashSet<u8> */
+   still inside: .expect("x") */
+pub fn lifetimes<'a>(s: &'a str) -> char {
+    let marker: char = 'a';
+    let _ = s;
+    marker
+}
+
+pub fn raw_hashes() -> &'static str {
+    r##"quote " then "# then SystemTime::now() all inert"##
+}
+
+pub fn bytes() -> (u8, &'static [u8]) {
+    (b'\'', b"Instant::now()")
+}
+
+pub fn the_only_real_finding(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

@@ -1,0 +1,30 @@
+//! Marker-hygiene fixture: bad markers are findings themselves and never
+//! suppress anything.
+
+pub fn unknown_lint(v: Option<u8>) -> u8 {
+    // audit:allow(made-up-lint, this selector does not exist)
+    v.unwrap()
+}
+
+pub fn missing_reason(v: Option<u8>) -> u8 {
+    // audit:allow(unwrap)
+    v.unwrap()
+}
+
+pub fn malformed(v: Option<u8>) -> u8 {
+    // audit:allow unwrap, forgot the parentheses
+    v.unwrap()
+}
+
+/// Doc comments may mention audit:allow(map-iter, like this) without acting
+/// as annotations — markers live in plain `//` comments only.
+pub fn doc_mention() {}
+
+pub fn suppressed_trailing(v: Option<u8>) -> u8 {
+    v.unwrap() // audit:allow(unwrap, fixture-justified panic)
+}
+
+pub fn suppressed_standalone(v: Option<u8>) -> u8 {
+    // audit:allow(P01, code selectors work as well as slugs)
+    v.unwrap()
+}

@@ -1,0 +1,27 @@
+//! P01 fixture: unwrap/expect in library code vs. test code.
+
+pub fn lib_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn lib_expect(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+pub fn fallbacks(v: Option<u32>) -> u32 {
+    v.unwrap_or(7)
+}
+
+#[test]
+fn bare_test_fn_is_exempt() {
+    Some(1u32).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_modules_is_fine() {
+        Some(2u32).unwrap();
+        None::<u32>.expect("still fine");
+    }
+}

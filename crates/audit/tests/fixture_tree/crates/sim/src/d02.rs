@@ -1,0 +1,23 @@
+//! D02 fixture: ambient-state reads inside simulation-scoped code.
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> u128 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn env_read() -> Option<String> {
+    std::env::var("PALERMO_KNOB").ok()
+}
+
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+pub fn justified() -> Option<String> {
+    // audit:allow(ambient-state, reporting-only knob that never reaches RunMetrics)
+    std::env::var("PALERMO_REPORT").ok()
+}

@@ -39,15 +39,24 @@ impl std::hash::Hasher for IdHasher {
 
     fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
+            // audit:allow(wrapping, FNV-style byte mixing is modular by design)
             self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
     fn write_u64(&mut self, v: u64) {
+        // audit:allow(wrapping, Fibonacci hashing is modular by design)
         self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     }
 }
 
+// The sanctioned escape hatch for audit lint D01: `IdHasher` above is a pure
+// function of the key — no `RandomState` — so the map's bucket order, and
+// therefore any iteration over it, is a deterministic function of the
+// insert/remove history alone: identical across runs, executors and
+// steppers. New keyed-id maps on hot paths should reuse this pattern rather
+// than reach for `HashMap::new()`.
+// audit:allow(map-iter, deterministic IdHasher; order is a pure function of op history)
 type IdMap<V> = HashMap<u64, V, BuildHasherDefault<IdHasher>>;
 
 /// Inter-request scheduling policy.

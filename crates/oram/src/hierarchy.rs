@@ -249,7 +249,9 @@ impl HierarchicalOram {
                 stash_capacity: config.stash_capacity,
                 seed: config
                     .seed
+                    // audit:allow(wrapping, SplitMix64-style per-sub-ORAM seed expansion)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    // audit:allow(wrapping, SplitMix64-style per-sub-ORAM seed expansion)
                     .wrapping_add(sub.index() as u64 + 1),
                 // Only the data tree is widened; the PosMap trees keep
                 // 64-byte blocks (§V-C).

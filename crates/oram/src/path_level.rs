@@ -57,6 +57,9 @@ pub struct PathLevel {
     options: PathLevelOptions,
     geometry: TreeGeometry,
     layout: TreeLayout,
+    // Keyed by NodeId along explicit root-to-leaf path walks; the simulation
+    // never iterates the map itself, so hash order cannot leak into metrics.
+    // audit:allow(map-iter, keyed access along explicit path walks; never iterated in simulation)
     buckets: HashMap<NodeId, BucketState>,
     posmap: PositionMap,
     stash: Stash,

@@ -28,6 +28,9 @@ pub struct RingLevel {
     config: LevelConfig,
     geometry: TreeGeometry,
     layout: TreeLayout,
+    // Keyed by NodeId along explicit path/bucket walks; simulation code
+    // never iterates the map (the boundedness test that does is order-free).
+    // audit:allow(map-iter, keyed access along explicit path walks; never iterated in simulation)
     buckets: HashMap<NodeId, BucketState>,
     posmap: PositionMap,
     stash: Stash,

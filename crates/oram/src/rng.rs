@@ -10,6 +10,8 @@
 
 use crate::types::LeafId;
 
+// audit:allow-file(wrapping, PRNG state transitions are modular arithmetic by definition)
+
 /// SplitMix64: used to expand a single `u64` seed into generator state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {

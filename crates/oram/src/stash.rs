@@ -9,7 +9,7 @@
 
 use crate::crypto::Payload;
 use crate::types::{BlockId, LeafId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One stash entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,9 +25,15 @@ pub struct StashEntry {
 }
 
 /// A bounded stash with occupancy tracking.
+///
+/// Entries are kept in a `BTreeMap` so that *every* traversal of the stash
+/// is in ascending [`BlockId`] order, independent of insertion history. The
+/// eviction scans iterate the stash each cycle; with a hash map their order
+/// would depend on `RandomState`'s per-process seed — exactly the hazard
+/// class `palermo-audit` lint D01 exists to keep out of the simulator.
 #[derive(Debug, Clone, Default)]
 pub struct Stash {
-    entries: HashMap<BlockId, StashEntry>,
+    entries: BTreeMap<BlockId, StashEntry>,
     capacity: usize,
     high_water: usize,
     overflow_events: u64,
@@ -37,7 +43,7 @@ impl Stash {
     /// Creates a stash with the given hardware capacity (entry count).
     pub fn new(capacity: usize) -> Self {
         Stash {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             capacity,
             high_water: 0,
             overflow_events: 0,
@@ -106,7 +112,12 @@ impl Stash {
         self.entries.remove(&block)
     }
 
-    /// Iterates over `(block, entry)` pairs in arbitrary order.
+    /// Iterates over `(block, entry)` pairs in ascending [`BlockId`] order.
+    ///
+    /// The order is part of the determinism contract: callers (e.g. the
+    /// group-remap retagging in `path_level`) may fold over the stash while
+    /// mutating simulation state, and identical runs must visit entries
+    /// identically.
     pub fn iter(&self) -> impl Iterator<Item = (&BlockId, &StashEntry)> {
         self.entries.iter()
     }
@@ -121,15 +132,14 @@ impl Stash {
     where
         F: Fn(LeafId) -> u32,
     {
-        let mut out: Vec<BlockId> = self
-            .entries
+        // BTreeMap iteration is already in ascending BlockId order, which is
+        // the deterministic order that keeps simulations reproducible (the
+        // explicit sort the HashMap version needed is now structural).
+        self.entries
             .iter()
             .filter(|(_, e)| !e.pending && common_depth(e.leaf) > level)
             .map(|(b, _)| *b)
-            .collect();
-        // Deterministic order keeps simulations reproducible.
-        out.sort_unstable();
-        out
+            .collect()
     }
 }
 
@@ -201,6 +211,35 @@ mod tests {
         assert_eq!(at_level1, vec![BlockId(1), BlockId(2)]);
         let at_level3 = s.eviction_candidates(3, depth);
         assert!(at_level3.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_independent() {
+        // Two stashes with the same contents inserted in opposite orders
+        // must traverse identically — both in `iter()` and in the eviction
+        // scan. (With the former HashMap backing, each instance drew its own
+        // RandomState seed, so these sequences disagreed between instances
+        // and between runs.)
+        let ids = [7u64, 1, 42, 3, 19, 0, 255, 8];
+        let mut fwd = Stash::new(16);
+        let mut rev = Stash::new(16);
+        for &i in &ids {
+            fwd.insert(BlockId(i), entry(i));
+        }
+        for &i in ids.iter().rev() {
+            rev.insert(BlockId(i), entry(i));
+        }
+        let seq_fwd: Vec<BlockId> = fwd.iter().map(|(b, _)| *b).collect();
+        let seq_rev: Vec<BlockId> = rev.iter().map(|(b, _)| *b).collect();
+        assert_eq!(seq_fwd, seq_rev);
+        let mut sorted = ids.map(BlockId).to_vec();
+        sorted.sort_unstable();
+        assert_eq!(seq_fwd, sorted, "traversal is ascending BlockId order");
+        let depth = |_| 5;
+        assert_eq!(
+            fwd.eviction_candidates(2, depth),
+            rev.eviction_candidates(2, depth)
+        );
     }
 
     #[test]
