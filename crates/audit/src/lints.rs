@@ -108,7 +108,12 @@ const ENV_FNS: &[&str] = &["var", "var_os", "vars", "vars_os", "temp_dir"];
 
 /// Crates whose simulation results must be a pure function of the seed; D02
 /// fires only here (bench code, for instance, legitimately reads env knobs).
-fn d02_in_scope(path: &str) -> bool {
+/// The whole of `crates/sim/` is in scope, which deliberately includes the
+/// open-loop serving subsystem (`crates/sim/src/serving.rs`): arrival
+/// processes and admission policies are simulation state, so wall-clock
+/// seeding or env-knob pacing there would break run reproducibility.
+/// Public so tests can pin the scope against refactors that move modules.
+pub fn d02_in_scope(path: &str) -> bool {
     const SCOPES: &[&str] = &[
         "crates/sim/",
         "crates/controller/",

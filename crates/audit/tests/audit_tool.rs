@@ -40,6 +40,8 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/sim/src/d02.rs", 6, "D02"),  // SystemTime::now()
     ("crates/sim/src/d02.rs", 11, "D02"), // std::env::var
     ("crates/sim/src/d02.rs", 15, "D02"), // available_parallelism
+    ("crates/sim/src/serving.rs", 7, "D02"), // SystemTime::now() seeding arrivals
+    ("crates/sim/src/serving.rs", 14, "D02"), // env-knob queue capacity
 ];
 
 #[test]
@@ -108,6 +110,21 @@ fn suppressions_and_exemptions_leave_holes_where_designed() {
     assert!(!findings
         .iter()
         .any(|f| f.file.ends_with("d01.rs") && f.line > 40));
+}
+
+/// Pins the D02 ambient-state scope: the serving subsystem (arrival
+/// processes, admission control) must stay under the lint wherever the
+/// module lives, alongside the rest of the deterministic core.
+#[test]
+fn serving_subsystem_is_in_d02_scope() {
+    for path in [
+        "crates/sim/src/serving.rs",
+        "crates/sim/src/runner.rs",
+        "crates/workloads/src/arrival.rs",
+    ] {
+        assert!(lints::d02_in_scope(path), "{path} left the D02 scope");
+    }
+    assert!(!lints::d02_in_scope("crates/bench/src/lib.rs"));
 }
 
 #[test]

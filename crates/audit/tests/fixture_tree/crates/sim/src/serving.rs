@@ -1,0 +1,18 @@
+//! D02 fixture shaped like the open-loop serving subsystem: arrival
+//! processes and admission policies are simulation state, so seeding or
+//! pacing them from the wall clock (or env knobs) must be flagged.
+use std::time::SystemTime;
+
+pub fn arrival_seed_from_wall_clock() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_nanos() as u64,
+        Err(_) => 0,
+    }
+}
+
+pub fn queue_capacity_from_env() -> usize {
+    std::env::var("SERVING_QUEUE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}

@@ -50,7 +50,7 @@ use crate::system::SystemConfig;
 use palermo_controller::ControllerConfig;
 use palermo_oram::error::OramResult;
 use palermo_oram::hierarchy::HierarchyConfig;
-use palermo_workloads::{Workload, WorkloadSpec};
+use palermo_workloads::{ArrivalSpec, OpenLoopSpec, Workload, WorkloadSpec};
 
 /// Explicit protocol/controller configurations for a run that falls outside
 /// the standard [`Scheme`] set (e.g. PrORAM without the fat tree for
@@ -186,6 +186,7 @@ pub struct Experiment {
     schemes: Vec<Scheme>,
     workloads: Vec<WorkloadSpec>,
     prefetch_lengths: Vec<u32>,
+    offered_loads: Vec<f64>,
     variants: Vec<(String, SystemConfig)>,
     extra: Vec<RunSpec>,
 }
@@ -198,6 +199,7 @@ impl Experiment {
             schemes: Vec::new(),
             workloads: Vec::new(),
             prefetch_lengths: Vec::new(),
+            offered_loads: Vec::new(),
             variants: Vec::new(),
             extra: Vec::new(),
         }
@@ -233,6 +235,20 @@ impl Experiment {
     #[must_use]
     pub fn sweep_prefetch(mut self, lengths: impl IntoIterator<Item = u32>) -> Self {
         self.prefetch_lengths.extend(lengths);
+        self
+    }
+
+    /// Sweeps the offered load over the given Poisson arrival rates
+    /// (requests per kilocycle): each grid cell is run once per rate with
+    /// its workload wrapped in an open-loop
+    /// [`WorkloadSpec::OpenLoop`] spec, which is what
+    /// [`figures::load_curve`](crate::figures::load_curve) uses to trace
+    /// latency-vs-load knee curves. Workloads that are *already* open-loop
+    /// pass through exactly once, unmultiplied, keeping their own arrival
+    /// spec. Without this call every run stays closed-loop.
+    #[must_use]
+    pub fn sweep_offered_load(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.offered_loads.extend(rates);
         self
     }
 
@@ -282,26 +298,52 @@ impl Experiment {
         let mut specs = Vec::new();
         for (vlabel, vcfg) in &variants {
             for workload in &self.workloads {
-                for &scheme in &self.schemes {
-                    for &pf in &prefetch {
-                        let mut config = *vcfg;
-                        if let Some(p) = pf {
-                            config.prefetch_override = Some(p);
+                // The load sweep wraps each closed-loop workload in one
+                // open-loop spec per rate point; a workload that is already
+                // open-loop keeps its own arrival spec and runs once.
+                let load_points: Vec<(WorkloadSpec, Option<f64>)> =
+                    if self.offered_loads.is_empty() || workload.open_loop().is_some() {
+                        vec![(workload.clone(), None)]
+                    } else {
+                        self.offered_loads
+                            .iter()
+                            .map(|&rate| {
+                                let arrival = ArrivalSpec::Poisson {
+                                    rate_per_kcycle: rate,
+                                };
+                                let open = OpenLoopSpec::new(arrival, workload.clone());
+                                (WorkloadSpec::OpenLoop(open), Some(rate))
+                            })
+                            .collect()
+                    };
+                for (wl_spec, load) in &load_points {
+                    for &scheme in &self.schemes {
+                        for &pf in &prefetch {
+                            let mut config = *vcfg;
+                            if let Some(p) = pf {
+                                config.prefetch_override = Some(p);
+                            }
+                            // Synthesized load points label with the *inner*
+                            // workload name; the `load=` suffix carries the
+                            // arrival rate.
+                            let mut label = format!("{scheme}/{workload}");
+                            if !vlabel.is_empty() {
+                                label = format!("{label}/{vlabel}");
+                            }
+                            if let Some(p) = pf {
+                                label = format!("{label}/pf={p}");
+                            }
+                            if let Some(rate) = load {
+                                label = format!("{label}/load={rate}");
+                            }
+                            specs.push(RunSpec {
+                                scheme,
+                                workload: wl_spec.clone(),
+                                config,
+                                label,
+                                custom: None,
+                            });
                         }
-                        let mut label = format!("{scheme}/{workload}");
-                        if !vlabel.is_empty() {
-                            label = format!("{label}/{vlabel}");
-                        }
-                        if let Some(p) = pf {
-                            label = format!("{label}/pf={p}");
-                        }
-                        specs.push(RunSpec {
-                            scheme,
-                            workload: workload.clone(),
-                            config,
-                            label,
-                            custom: None,
-                        });
                     }
                 }
             }
@@ -369,6 +411,37 @@ mod tests {
         assert_eq!(specs[0].config.pe_columns, 1);
         assert_eq!(specs[1].config.pe_columns, 8);
         assert_eq!(specs[0].label, "Palermo/random/pe=1");
+    }
+
+    #[test]
+    fn load_sweep_wraps_each_workload_per_rate_point() {
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::RingOram, Scheme::Palermo])
+            .workloads([Workload::Random])
+            .sweep_offered_load([0.05, 0.2])
+            .build();
+        assert_eq!(specs.len(), 4);
+        for spec in &specs {
+            let open = spec.workload.open_loop().expect("wrapped open-loop");
+            assert_eq!(open.inner.name(), "random");
+        }
+        assert_eq!(specs[0].label, "RingORAM/random/load=0.05");
+        assert_eq!(specs[1].label, "Palermo/random/load=0.05");
+        assert!(specs[3].label.ends_with("load=0.2"));
+        assert_eq!(specs[3].workload.open_loop().unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn load_sweep_passes_open_loop_workloads_through_once() {
+        let already_open = WorkloadSpec::from_name("open:bursty:0.2:20000:60000:mcf").unwrap();
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::Palermo])
+            .workload_specs([already_open.clone()])
+            .sweep_offered_load([0.05, 0.2])
+            .build();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].workload, already_open);
+        assert!(!specs[0].label.contains("load="));
     }
 
     #[test]

@@ -66,6 +66,9 @@ impl RunRecord {
             stash_high_water: self.metrics.stash_high_water,
             bandwidth_utilization: self.metrics.dram.bandwidth_utilization(),
             sync_stall_cycles: self.metrics.sync_stall_cycles,
+            arrivals: self.metrics.arrivals,
+            dropped_arrivals: self.metrics.dropped_arrivals,
+            mean_queue_wait: self.metrics.mean_queue_wait(),
         }
     }
 }
@@ -103,13 +106,21 @@ pub struct RunSummary {
     pub bandwidth_utilization: f64,
     /// Total ORAM-sync stall cycles over the measured window.
     pub sync_stall_cycles: u64,
+    /// Open-loop arrivals resolved in the measured window (0 for
+    /// closed-loop runs).
+    pub arrivals: u64,
+    /// Open-loop arrivals dropped by the admission policy in the measured
+    /// window (0 for closed-loop runs).
+    pub dropped_arrivals: u64,
+    /// Mean admission-queue wait in cycles (0 for closed-loop runs).
+    pub mean_queue_wait: f64,
 }
 
 impl RunSummary {
     /// The CSV header row matching [`RunSummary::to_csv_row`].
     pub const CSV_HEADER: &'static str = "label,scheme,workload,prefetch_length,oram_requests,\
 workload_accesses,dummy_requests,cycles,mean_latency,llc_hit_rate,stash_high_water,\
-bandwidth_utilization,sync_stall_cycles";
+bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wait";
 
     /// Measured workload accesses per cycle (the end-to-end speedup metric).
     pub fn accesses_per_cycle(&self) -> f64 {
@@ -122,7 +133,7 @@ bandwidth_utilization,sync_stall_cycles";
     /// Renders one CSV data row (no trailing newline).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             sanitize_csv(&self.label),
             self.scheme,
             sanitize_csv(&self.workload.name()),
@@ -136,6 +147,9 @@ bandwidth_utilization,sync_stall_cycles";
             self.stash_high_water,
             self.bandwidth_utilization,
             self.sync_stall_cycles,
+            self.arrivals,
+            self.dropped_arrivals,
+            self.mean_queue_wait,
         )
     }
 
@@ -143,7 +157,7 @@ bandwidth_utilization,sync_stall_cycles";
     /// Returns `None` on a malformed row or an unknown scheme/workload name.
     pub fn from_csv_row(row: &str) -> Option<RunSummary> {
         let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 13 {
+        if fields.len() != 16 {
             return None;
         }
         Some(RunSummary {
@@ -160,6 +174,9 @@ bandwidth_utilization,sync_stall_cycles";
             stash_high_water: fields[10].parse().ok()?,
             bandwidth_utilization: fields[11].parse().ok()?,
             sync_stall_cycles: fields[12].parse().ok()?,
+            arrivals: fields[13].parse().ok()?,
+            dropped_arrivals: fields[14].parse().ok()?,
+            mean_queue_wait: fields[15].parse().ok()?,
         })
     }
 
@@ -169,7 +186,8 @@ bandwidth_utilization,sync_stall_cycles";
             "{{\"label\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\
 \"prefetch_length\":{},\"oram_requests\":{},\"workload_accesses\":{},\
 \"dummy_requests\":{},\"cycles\":{},\"mean_latency\":{},\"llc_hit_rate\":{},\
-\"stash_high_water\":{},\"bandwidth_utilization\":{},\"sync_stall_cycles\":{}}}",
+\"stash_high_water\":{},\"bandwidth_utilization\":{},\"sync_stall_cycles\":{},\
+\"arrivals\":{},\"dropped_arrivals\":{},\"mean_queue_wait\":{}}}",
             escape_json(&self.label),
             self.scheme,
             escape_json(&self.workload.name()),
@@ -183,6 +201,9 @@ bandwidth_utilization,sync_stall_cycles";
             self.stash_high_water,
             self.bandwidth_utilization,
             self.sync_stall_cycles,
+            self.arrivals,
+            self.dropped_arrivals,
+            self.mean_queue_wait,
         )
     }
 }
@@ -676,6 +697,9 @@ fn summary_from_json_object(object: &str) -> Option<RunSummary> {
         stash_high_water: json_field(object, "stash_high_water")?.parse().ok()?,
         bandwidth_utilization: json_field(object, "bandwidth_utilization")?.parse().ok()?,
         sync_stall_cycles: json_field(object, "sync_stall_cycles")?.parse().ok()?,
+        arrivals: json_field(object, "arrivals")?.parse().ok()?,
+        dropped_arrivals: json_field(object, "dropped_arrivals")?.parse().ok()?,
+        mean_queue_wait: json_field(object, "mean_queue_wait")?.parse().ok()?,
     })
 }
 

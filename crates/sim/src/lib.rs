@@ -13,6 +13,7 @@ pub mod experiment;
 pub mod figures;
 pub mod runner;
 pub mod schemes;
+pub mod serving;
 pub mod system;
 
 pub use experiment::{
@@ -23,6 +24,9 @@ pub use runner::{
     ReferenceStepper, RunMetrics, Stepper,
 };
 pub use schemes::Scheme;
+pub use serving::{
+    AdmissionOutcome, AdmissionPolicy, AdmissionPolicyKind, Arrival, ArrivalProcess, ServingEngine,
+};
 pub use system::SystemConfig;
 // Re-exported so experiment code can name specs without a second import.
 pub use palermo_workloads::WorkloadSpec;

@@ -26,6 +26,7 @@
 //! this module.
 
 use crate::schemes::Scheme;
+use crate::serving::ServingEngine;
 use crate::system::SystemConfig;
 use palermo_analysis::LatencyHistogram;
 use palermo_controller::OramController;
@@ -75,6 +76,17 @@ pub struct TenantMetrics {
     /// the tenant's memory-demand share (who occupies the DRAM, and thereby
     /// who stalls whom).
     pub dram_ops: u64,
+    /// Queue-wait histogram (admission-queue residency, arrival to
+    /// controller submission) of this tenant's completed requests. Empty
+    /// for closed-loop runs, where requests have no arrival time.
+    pub queue_wait: LatencyHistogram,
+    /// Arrivals of this tenant dropped by the admission policy in the
+    /// measured window. Attributed only when the open-loop spec routes one
+    /// arrival process per tenant; a single aggregate process leaves this 0
+    /// (a dropped arrival never reaches the stream's tenant selection, so
+    /// its tenant is unknowable) and only
+    /// [`RunMetrics::dropped_arrivals`] counts it.
+    pub dropped: u64,
 }
 
 impl TenantMetrics {
@@ -87,6 +99,8 @@ impl TenantMetrics {
             workload_accesses: 0,
             latency: LatencyHistogram::new(),
             dram_ops: 0,
+            queue_wait: LatencyHistogram::new(),
+            dropped: 0,
         }
     }
 
@@ -111,11 +125,20 @@ impl TenantMetrics {
         self.latency.p99()
     }
 
-    fn record_completion(&mut self, latency: u64, accesses: u64, dram_ops: u64) {
+    fn record_completion(
+        &mut self,
+        latency: u64,
+        accesses: u64,
+        dram_ops: u64,
+        queue_wait: Option<u64>,
+    ) {
         self.completed += 1;
         self.workload_accesses += accesses;
         self.latency.record(latency);
         self.dram_ops += dram_ops;
+        if let Some(wait) = queue_wait {
+            self.queue_wait.record(wait);
+        }
     }
 }
 
@@ -179,6 +202,20 @@ pub struct RunMetrics {
     /// `completed`, `workload_accesses` and latency totals each sum to the
     /// corresponding aggregate ([`RunMetrics::tenant_conservation_ok`]).
     pub per_tenant: Vec<TenantMetrics>,
+    /// Open-loop arrivals whose admission was resolved (admitted or
+    /// dropped) in the measured window — the *offered* load. 0 for
+    /// closed-loop runs.
+    pub arrivals: u64,
+    /// Open-loop arrivals dropped by the admission policy in the measured
+    /// window (never exceeds [`RunMetrics::arrivals`]). 0 for closed-loop
+    /// runs and under the `block` policy.
+    pub dropped_arrivals: u64,
+    /// Per-request admission-queue waits in cycles (arrival to controller
+    /// submission), aligned index-for-index with
+    /// [`RunMetrics::latencies`]: `queue_waits[i] + latencies[i]` is
+    /// request `i`'s end-to-end latency, exactly. Empty for closed-loop
+    /// runs.
+    pub queue_waits: Vec<u64>,
 }
 
 impl RunMetrics {
@@ -241,8 +278,9 @@ impl RunMetrics {
 
     /// Checks the per-tenant conservation invariant: when per-tenant
     /// attribution ran, the per-tenant `submitted`/`completed`/
-    /// `workload_accesses`/latency sums/histogram counts must sum exactly
-    /// to the aggregates. Trivially `true` when attribution was off.
+    /// `workload_accesses`/latency and queue-wait sums/histogram counts
+    /// must sum exactly to the aggregates. Trivially `true` when
+    /// attribution was off.
     pub fn tenant_conservation_ok(&self) -> bool {
         if self.per_tenant.is_empty() {
             return true;
@@ -253,11 +291,83 @@ impl RunMetrics {
             && sum(|t| t.workload_accesses) == self.workload_accesses
             && sum(|t| t.latency.sum()) == self.latencies.iter().sum::<u64>()
             && sum(|t| t.latency.count()) == self.latencies.len() as u64
+            && sum(|t| t.queue_wait.sum()) == self.queue_waits.iter().sum::<u64>()
+            && sum(|t| t.queue_wait.count()) == self.queue_waits.len() as u64
             && self
                 .per_tenant
                 .iter()
                 .enumerate()
                 .all(|(i, t)| t.tenant as usize == i && t.latency.count() == t.completed)
+    }
+
+    /// Open-loop arrivals admitted in the measured window
+    /// (`arrivals - dropped_arrivals`). 0 for closed-loop runs.
+    pub fn admitted_arrivals(&self) -> u64 {
+        self.arrivals - self.dropped_arrivals
+    }
+
+    /// Fraction of measured-window arrivals the admission policy dropped
+    /// (0 for closed-loop runs and empty windows).
+    pub fn drop_fraction(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        self.dropped_arrivals as f64 / self.arrivals as f64
+    }
+
+    /// Mean admission-queue wait in cycles over the measured window (0 for
+    /// closed-loop runs).
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.queue_waits.is_empty() {
+            return 0.0;
+        }
+        self.queue_waits.iter().sum::<u64>() as f64 / self.queue_waits.len() as f64
+    }
+
+    /// Per-request end-to-end latencies (queue wait + ORAM service) in
+    /// cycles. For closed-loop runs, where requests have no queue wait,
+    /// this is just [`RunMetrics::latencies`].
+    pub fn end_to_end_latencies(&self) -> Vec<u64> {
+        if self.queue_waits.is_empty() {
+            return self.latencies.clone();
+        }
+        self.latencies
+            .iter()
+            .zip(&self.queue_waits)
+            .map(|(&service, &wait)| service + wait)
+            .collect()
+    }
+
+    /// Offered load in requests per kilocycle — the long-run mean rate of
+    /// the workload spec's arrival processes. `None` for closed-loop runs
+    /// (a closed loop offers no rate; it saturates the pipeline).
+    pub fn offered_rate_per_kcycle(&self) -> Option<f64> {
+        self.workload
+            .open_loop()
+            .map(palermo_workloads::OpenLoopSpec::offered_rate_per_kcycle)
+    }
+
+    /// Achieved throughput in completed requests per kilocycle over the
+    /// measured window. Under overload this plateaus below the offered
+    /// rate — the saturation knee `figures::load_curve` plots.
+    pub fn achieved_rate_per_kcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.oram_requests as f64 * 1000.0 / self.cycles as f64
+    }
+
+    /// Checks the arrival-accounting invariants. Closed-loop runs must
+    /// carry no arrival state at all; open-loop runs must have drops
+    /// bounded by arrivals, exactly one queue wait per recorded latency,
+    /// and per-tenant drop attribution bounded by the aggregate.
+    pub fn arrival_conservation_ok(&self) -> bool {
+        if self.workload.open_loop().is_none() {
+            return self.arrivals == 0 && self.dropped_arrivals == 0 && self.queue_waits.is_empty();
+        }
+        self.dropped_arrivals <= self.arrivals
+            && self.queue_waits.len() == self.latencies.len()
+            && self.per_tenant.iter().map(|t| t.dropped).sum::<u64>() <= self.dropped_arrivals
     }
 }
 
@@ -275,6 +385,11 @@ struct InFlightEntry {
     /// Tenant the request belongs to (the tenant of the missing access;
     /// meaningless for dummies).
     tenant: u32,
+    /// Open-loop arrival cycle of the request (`None` for closed-loop
+    /// requests and dummies). The queue wait is
+    /// `FinishedRequest::submitted_at - arrived_at`, so queue wait plus
+    /// service latency is the end-to-end latency exactly.
+    arrived_at: Option<u64>,
 }
 
 /// Bookkeeping for the requests currently in flight, keyed by request id.
@@ -289,13 +404,22 @@ struct InFlightTable {
 }
 
 impl InFlightTable {
-    fn insert(&mut self, request_id: u64, found: bool, is_dummy: bool, accesses: u64, tenant: u32) {
+    fn insert(
+        &mut self,
+        request_id: u64,
+        found: bool,
+        is_dummy: bool,
+        accesses: u64,
+        tenant: u32,
+        arrived_at: Option<u64>,
+    ) {
         self.entries.push(InFlightEntry {
             request_id,
             found,
             is_dummy,
             accesses,
             tenant,
+            arrived_at,
         });
     }
 
@@ -323,7 +447,20 @@ pub trait Stepper {
     /// issue pass fully drained), the DRAM tick produced no completions, no
     /// DRAM-rejected enqueue could retry against freed queue space, and the
     /// runner will not stage a new plan next iteration.
-    fn advance_idle(&self, controller: &mut OramController, dram: &mut DramSystem, quiescent: bool);
+    ///
+    /// `external_next` is the earliest cycle at which a runner-level event
+    /// outside the two clock models can change the system — today, the next
+    /// open-loop arrival. A skip must never jump past it: an arrival can
+    /// make an idle pipeline stage a request, and landing late would shift
+    /// the submission (and every metric downstream of it) relative to the
+    /// per-cycle reference loop. `None` for closed-loop runs.
+    fn advance_idle(
+        &self,
+        controller: &mut OramController,
+        dram: &mut DramSystem,
+        quiescent: bool,
+        external_next: Option<u64>,
+    );
 }
 
 /// The seed per-cycle stepper: never skips, ticking every 1.6 GHz cycle.
@@ -337,6 +474,7 @@ impl Stepper for ReferenceStepper {
         _controller: &mut OramController,
         _dram: &mut DramSystem,
         _quiescent: bool,
+        _external_next: Option<u64>,
     ) {
     }
 }
@@ -353,12 +491,22 @@ impl Stepper for EventStepper {
         controller: &mut OramController,
         dram: &mut DramSystem,
         quiescent: bool,
+        external_next: Option<u64>,
     ) {
         if !quiescent || dram.has_pending_completions() {
             return;
         }
         let now = dram.cycle();
-        let next = match (controller.next_wakeup(now), dram.next_event_cycle()) {
+        let internal = match (controller.next_wakeup(now), dram.next_event_cycle()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        // A pending open-loop arrival bounds the skip even when both clock
+        // models are idle: the arrival will stage work the reference loop
+        // would have staged at exactly that cycle.
+        let next = match (internal, external_next) {
             (Some(a), Some(b)) => a.min(b),
             (Some(a), None) => a,
             (None, Some(b)) => b,
@@ -605,6 +753,20 @@ or raise protected_bytes)",
     // when there is more than one tenant to tell apart.
     let pull_tags = config.collect_per_tenant && stream.tenant_count() > 1;
 
+    // Open-loop specs get a serving engine: arrivals land on the simulated
+    // clock and requests stage only when an admitted arrival is waiting.
+    // Closed-loop specs (`serving == None`) stage greedily, exactly as
+    // before.
+    let mut serving = spec.open_loop().map(|o| {
+        ServingEngine::new(
+            o,
+            config.serving_queue_capacity,
+            config.admission_policy,
+            config.seed,
+        )
+    });
+    let mut serving_at_start = serving.as_ref().map(|e| e.counters().clone());
+
     let mut in_flight = InFlightTable::default();
 
     let mut submitted: u64 = 0;
@@ -644,61 +806,93 @@ or raise protected_bytes)",
         } else {
             Vec::new()
         },
+        arrivals: 0,
+        dropped_arrivals: 0,
+        queue_waits: Vec::new(),
     };
 
     let sample_every = (config.measured_requests / 100).max(1);
 
     while finished_real < total_requests {
+        // Deliver every open-loop arrival up to the current cycle into the
+        // admission queue (a no-op for closed-loop runs).
+        let arrivals_advanced_to = dram.cycle();
+        if let Some(engine) = serving.as_mut() {
+            engine.advance(arrivals_advanced_to);
+        }
+
         // Generate the next ORAM request if the pipeline has room for one.
         if pending_plan.is_none() && submitted < total_requests + config.measured_requests {
             if oram.needs_background_evict() {
                 let result = oram.background_evict();
-                in_flight.insert(result.plan.request_id, false, true, 0, 0);
+                in_flight.insert(result.plan.request_id, false, true, 0, 0, None);
                 pending_plan = Some(result.plan);
             } else if submitted < total_requests {
-                // Pull workload accesses through the LLC until one misses.
-                // An all-hits workload cannot form an ORAM request, so it
-                // would wedge this loop forever; fail loudly instead. The
-                // request belongs to the tenant of the missing access.
-                let mut accesses_for_request = 0u64;
-                let mut guard = 0u64;
-                let (pa, op, tenant) = loop {
-                    let (entry, tenant) = if pull_tags {
-                        let tagged = stream.next_tagged();
-                        (tagged.entry, tagged.tenant)
-                    } else {
-                        (stream.next_access(), 0)
-                    };
-                    accesses_for_request += 1;
-                    let pa = PhysAddr::new(entry.addr.0 % (protected_lines * 64));
-                    if !llc.access(pa) {
-                        break (pa, entry.op, tenant);
-                    }
-                    guard += 1;
-                    if guard > 1_000_000 {
-                        return Err(OramError::WorkloadStalled {
-                            accesses_scanned: guard,
-                        });
-                    }
+                // Closed loop stages unconditionally; open loop only when an
+                // admitted arrival is waiting in the queue.
+                let arrival = match serving.as_mut() {
+                    None => Some(None),
+                    Some(engine) => engine.pop_ready().map(Some),
                 };
-                let payload = (op == OramOp::Write).then(|| Payload::from_u64(pa.0));
-                let result = oram.access(pa, op, payload)?;
-                for line in &result.prefetched {
-                    llc.fill_line(line.0);
-                }
-                in_flight.insert(
-                    result.plan.request_id,
-                    result.found,
-                    false,
-                    accesses_for_request,
-                    tenant,
-                );
-                pending_plan = Some(result.plan);
-                submitted += 1;
-                if measuring {
-                    metrics.submitted_requests += 1;
-                    if let Some(tm) = metrics.per_tenant.get_mut(tenant as usize) {
-                        tm.submitted += 1;
+                if let Some(arrival) = arrival {
+                    // When the spec routes one arrival process per tenant,
+                    // the arrival decides whose stream forms the request;
+                    // otherwise the stream keeps its own tenant selection.
+                    let route = arrival.and_then(|a: crate::serving::Arrival| {
+                        serving
+                            .as_ref()
+                            .is_some_and(ServingEngine::routes_per_tenant)
+                            .then_some(a.tenant)
+                    });
+                    // Pull workload accesses through the LLC until one
+                    // misses. An all-hits workload cannot form an ORAM
+                    // request, so it would wedge this loop forever; fail
+                    // loudly instead. The request belongs to the tenant of
+                    // the missing access.
+                    let mut accesses_for_request = 0u64;
+                    let mut guard = 0u64;
+                    let (pa, op, tenant) = loop {
+                        let (entry, tenant) = if let Some(t) = route {
+                            let tagged = stream.next_tagged_for(t);
+                            (tagged.entry, tagged.tenant)
+                        } else if pull_tags {
+                            let tagged = stream.next_tagged();
+                            (tagged.entry, tagged.tenant)
+                        } else {
+                            (stream.next_access(), 0)
+                        };
+                        accesses_for_request += 1;
+                        let pa = PhysAddr::new(entry.addr.0 % (protected_lines * 64));
+                        if !llc.access(pa) {
+                            break (pa, entry.op, tenant);
+                        }
+                        guard += 1;
+                        if guard > 1_000_000 {
+                            return Err(OramError::WorkloadStalled {
+                                accesses_scanned: guard,
+                            });
+                        }
+                    };
+                    let payload = (op == OramOp::Write).then(|| Payload::from_u64(pa.0));
+                    let result = oram.access(pa, op, payload)?;
+                    for line in &result.prefetched {
+                        llc.fill_line(line.0);
+                    }
+                    in_flight.insert(
+                        result.plan.request_id,
+                        result.found,
+                        false,
+                        accesses_for_request,
+                        tenant,
+                        arrival.map(|a| a.arrived_at),
+                    );
+                    pending_plan = Some(result.plan);
+                    submitted += 1;
+                    if measuring {
+                        metrics.submitted_requests += 1;
+                        if let Some(tm) = metrics.per_tenant.get_mut(tenant as usize) {
+                            tm.submitted += 1;
+                        }
                     }
                 }
             }
@@ -733,6 +927,7 @@ or raise protected_bytes)",
                         is_dummy: finished.is_dummy,
                         accesses: 0,
                         tenant: 0,
+                        arrived_at: None,
                     }
                 }
             };
@@ -744,6 +939,13 @@ or raise protected_bytes)",
                 measure_start_cycle = dram.cycle();
                 dram_at_start = dram.stats();
                 ctrl_at_start = *controller.stats();
+                if let Some(engine) = serving.as_mut() {
+                    // Bring arrival accounting up to the window-open cycle
+                    // (identical across steppers: the warm-up completion
+                    // pins this cycle) before snapshotting.
+                    engine.advance(dram.cycle());
+                    serving_at_start = Some(engine.counters().clone());
+                }
             }
             if measuring && finished_real > warmup {
                 if entry.is_dummy {
@@ -752,11 +954,22 @@ or raise protected_bytes)",
                     metrics.oram_requests += 1;
                     metrics.workload_accesses += entry.accesses;
                     metrics.latencies.push(finished.latency());
+                    let queue_wait = entry
+                        .arrived_at
+                        .map(|at| finished.submitted_at.saturating_sub(at));
+                    if let Some(wait) = queue_wait {
+                        metrics.queue_waits.push(wait);
+                    }
                     metrics
                         .behaviour_latency
                         .push((entry.found, finished.latency()));
                     if let Some(tm) = metrics.per_tenant.get_mut(entry.tenant as usize) {
-                        tm.record_completion(finished.latency(), entry.accesses, finished.dram_ops);
+                        tm.record_completion(
+                            finished.latency(),
+                            entry.accesses,
+                            finished.dram_ops,
+                            queue_wait,
+                        );
                     } else {
                         debug_assert!(
                             metrics.per_tenant.is_empty(),
@@ -782,12 +995,24 @@ or raise protected_bytes)",
         // runner-level event the clock models cannot predict).
         let will_stage = pending_plan.is_none()
             && submitted < total_requests + config.measured_requests
-            && (oram.needs_background_evict() || submitted < total_requests);
+            && (oram.needs_background_evict()
+                || (submitted < total_requests
+                    && serving.as_ref().is_none_or(|e| e.queue_len() > 0)));
         let quiescent = ctrl_activity.settled
             && !dram_result.completions
             && !will_stage
             && (!dram_result.issued || !controller.enqueue_blocked());
-        stepper.advance_idle(&mut controller, &mut dram, quiescent);
+        // Pending arrivals bound the skip while the run still submits
+        // (`arrivals_advanced_to` rather than the post-tick cycle, so an
+        // arrival landing on the current cycle forces a single step). After
+        // the last submission pops stop, so arrival bookkeeping becomes a
+        // pure function of the final cycle and the tail can skip freely —
+        // the post-loop `advance` settles it.
+        let external_next = serving
+            .as_ref()
+            .filter(|_| submitted < total_requests)
+            .and_then(|e| e.next_arrival_cycle(arrivals_advanced_to));
+        stepper.advance_idle(&mut controller, &mut dram, quiescent, external_next);
     }
 
     let dram_end = dram.stats();
@@ -801,6 +1026,22 @@ or raise protected_bytes)",
     }
     metrics.stash_high_water = oram.stash_high_water();
     metrics.llc_hit_rate = llc.hit_rate();
+    if let Some(engine) = serving.as_mut() {
+        // Settle arrival bookkeeping at the (stepper-identical) final cycle
+        // and restrict the counters to the measured window by delta.
+        engine.advance(dram.cycle());
+        let end = engine.counters();
+        let start = serving_at_start.unwrap_or_default();
+        metrics.arrivals = end.arrivals - start.arrivals;
+        metrics.dropped_arrivals = end.dropped - start.dropped;
+        if engine.routes_per_tenant() {
+            for tm in &mut metrics.per_tenant {
+                let i = tm.tenant as usize;
+                tm.dropped =
+                    end.dropped_by_tenant[i] - start.dropped_by_tenant.get(i).copied().unwrap_or(0);
+            }
+        }
+    }
     Ok(metrics)
 }
 
@@ -930,21 +1171,25 @@ mod tests {
 
     #[test]
     fn in_flight_table_handles_out_of_order_completion() {
-        let entry = |request_id, found, is_dummy, accesses, tenant| InFlightEntry {
+        let entry = |request_id, found, is_dummy, accesses, tenant, arrived_at| InFlightEntry {
             request_id,
             found,
             is_dummy,
             accesses,
             tenant,
+            arrived_at,
         };
         let mut table = InFlightTable::default();
-        table.insert(1, true, false, 4, 0);
-        table.insert(2, false, true, 0, 0);
-        table.insert(3, false, false, 1, 2);
-        assert_eq!(table.remove(2), Some(entry(2, false, true, 0, 0)));
+        table.insert(1, true, false, 4, 0, None);
+        table.insert(2, false, true, 0, 0, None);
+        table.insert(3, false, false, 1, 2, Some(77));
+        assert_eq!(table.remove(2), Some(entry(2, false, true, 0, 0, None)));
         assert_eq!(table.remove(2), None);
-        assert_eq!(table.remove(1), Some(entry(1, true, false, 4, 0)));
-        assert_eq!(table.remove(3), Some(entry(3, false, false, 1, 2)));
+        assert_eq!(table.remove(1), Some(entry(1, true, false, 4, 0, None)));
+        assert_eq!(
+            table.remove(3),
+            Some(entry(3, false, false, 1, 2, Some(77)))
+        );
         assert_eq!(table.remove(4), None);
     }
 
@@ -998,6 +1243,50 @@ mod tests {
     }
 
     #[test]
+    fn open_loop_run_accounts_queue_waits_and_arrivals() {
+        let spec = WorkloadSpec::from_name("open:poisson:0.02:random").unwrap();
+        let m = run_workload_spec(Scheme::Palermo, &spec, &tiny()).unwrap();
+        assert_eq!(m.oram_requests, 40);
+        assert_eq!(m.queue_waits.len(), m.latencies.len());
+        assert!(m.arrivals > 0);
+        assert!(m.arrival_conservation_ok());
+        assert!(m.tenant_conservation_ok());
+        assert_eq!(m.offered_rate_per_kcycle(), Some(0.02));
+        assert!(m.achieved_rate_per_kcycle() > 0.0);
+        // Queue wait + service latency = end-to-end latency, per request.
+        let e2e = m.end_to_end_latencies();
+        for (i, &total) in e2e.iter().enumerate() {
+            assert_eq!(total, m.queue_waits[i] + m.latencies[i]);
+        }
+    }
+
+    #[test]
+    fn open_loop_run_is_identical_across_steppers() {
+        let cfg = tiny();
+        for name in [
+            "open:poisson:0.05:random",
+            "open:bursty:0.2:20000:60000:mcf",
+        ] {
+            let spec = WorkloadSpec::from_name(name).unwrap();
+            let event =
+                run_workload_spec_stepped(Scheme::Palermo, &spec, &cfg, &EventStepper).unwrap();
+            let reference =
+                run_workload_spec_stepped(Scheme::Palermo, &spec, &cfg, &ReferenceStepper).unwrap();
+            assert_eq!(event, reference, "steppers diverged on {name}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_carries_no_arrival_state() {
+        let m = run_workload(Scheme::Palermo, Workload::Random, &tiny()).unwrap();
+        assert_eq!(m.arrivals, 0);
+        assert_eq!(m.dropped_arrivals, 0);
+        assert!(m.queue_waits.is_empty());
+        assert!(m.arrival_conservation_ok());
+        assert_eq!(m.end_to_end_latencies(), m.latencies);
+    }
+
+    #[test]
     fn metrics_empty_helpers_are_safe() {
         let m = RunMetrics {
             scheme: Scheme::Palermo,
@@ -1017,11 +1306,20 @@ mod tests {
             prefetch_length: 1,
             submitted_requests: 0,
             per_tenant: vec![],
+            arrivals: 0,
+            dropped_arrivals: 0,
+            queue_waits: vec![],
         };
         assert_eq!(m.requests_per_second(), 0.0);
         assert_eq!(m.mean_latency(), 0.0);
         assert_eq!(m.dummy_fraction(), 0.0);
         assert_eq!(m.tenant_dram_share(0), 0.0);
+        assert_eq!(m.mean_queue_wait(), 0.0);
+        assert_eq!(m.drop_fraction(), 0.0);
+        assert_eq!(m.achieved_rate_per_kcycle(), 0.0);
+        assert_eq!(m.offered_rate_per_kcycle(), None);
+        assert!(m.end_to_end_latencies().is_empty());
         assert!(m.tenant_conservation_ok());
+        assert!(m.arrival_conservation_ok());
     }
 }

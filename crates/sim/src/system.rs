@@ -1,5 +1,6 @@
 //! End-to-end system configuration (Table III).
 
+use crate::serving::AdmissionPolicyKind;
 use palermo_dram::DramConfig;
 use palermo_oram::error::OramResult;
 use palermo_oram::params::{HierarchyParams, OramParams};
@@ -42,6 +43,12 @@ pub struct SystemConfig {
     /// off is to measure the attribution's own overhead (see the
     /// `fig03_ring_baseline` bench's tagged-vs-untagged comparison).
     pub collect_per_tenant: bool,
+    /// Capacity of the open-loop admission queue (ignored by closed-loop
+    /// runs, i.e. any non-`open:` workload spec).
+    pub serving_queue_capacity: usize,
+    /// What happens to arrivals that find the admission queue full
+    /// (ignored by closed-loop runs).
+    pub admission_policy: AdmissionPolicyKind,
 }
 
 impl SystemConfig {
@@ -65,6 +72,8 @@ impl SystemConfig {
             dram: DramConfig::ddr4_3200_quad_channel(),
             prefetch_override: None,
             collect_per_tenant: true,
+            serving_queue_capacity: 64,
+            admission_policy: AdmissionPolicyKind::DropTail,
         }
     }
 
@@ -91,6 +100,8 @@ impl SystemConfig {
             dram: DramConfig::ddr4_3200_quad_channel(),
             prefetch_override: None,
             collect_per_tenant: true,
+            serving_queue_capacity: 64,
+            admission_policy: AdmissionPolicyKind::DropTail,
         }
     }
 

@@ -1,0 +1,504 @@
+//! Open-loop arrival specs: *when* requests arrive, decoupled from *what*
+//! they access.
+//!
+//! Every closed-loop run pulls the next access the instant an in-flight
+//! slot frees, so the simulator always observes the system at 100% load.
+//! An [`OpenLoopSpec`] instead wraps any inner [`WorkloadSpec`] with one or
+//! more [`ArrivalSpec`] processes that place request arrivals on the
+//! *simulated* clock. The simulator (the `palermo-sim` crate) samples the
+//! processes with seeded RNG and admits requests through a bounded queue —
+//! this module only describes the processes and owns their spec-name
+//! grammar:
+//!
+//! ```text
+//! open:poisson:0.8:mcf                  Poisson arrivals, 0.8 req/kcycle
+//! open:bursty:2:50000:150000:redis      on/off bursts: 2 req/kcycle while
+//!                                       on, mean on 50k / off 150k cycles
+//! open:diurnal:0.2:1.5:4000000:llm      raised-cosine rate curve between
+//!                                       0.2 and 1.5 req/kcycle, period 4M
+//! open:poisson:0.5+poisson:1:mix:rr:redis+llm
+//!                                       one arrival process per tenant
+//! ```
+//!
+//! An arrival token is `kind:arg[:arg...]` with a fixed arity per kind;
+//! `+` separates the per-tenant process list and the token after the final
+//! arrival argument is the inner spec name (which may itself contain `:`
+//! and `+`, e.g. a mix). All rates are **requests per kilocycle** of the
+//! simulated clock — at the modelled 1.6 GHz a rate of 1.0 is one arrival
+//! per 625 ns.
+//!
+//! Per-tenant arrival lists (more than one process) require a plain
+//! [`WorkloadSpec::Mix`] inner whose tenant count matches: each process
+//! then drives its own tenant's stream directly, replacing the mix's
+//! WRR/Zipf selection. A single process over any inner keeps the inner's
+//! own tenant routing and only gates *when* the next request forms.
+
+use crate::spec::WorkloadSpec;
+use palermo_oram::error::{OramError, OramResult};
+
+/// One deterministic arrival process (rates in requests per kilocycle of
+/// the simulated clock).
+///
+/// The spec is pure description: sampling lives in `palermo_sim::serving`,
+/// seeded from the run seed so the same spec reproduces the same arrival
+/// times bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Memoryless arrivals: exponential inter-arrival gaps with mean
+    /// `1000 / rate` cycles.
+    Poisson {
+        /// Mean arrival rate, requests per kilocycle.
+        rate_per_kcycle: f64,
+    },
+    /// Markov-modulated on/off bursts: while ON, arrivals are Poisson at
+    /// `rate_per_kcycle`; while OFF, none. ON and OFF durations are
+    /// exponentially distributed with the given means.
+    Bursty {
+        /// Arrival rate during ON periods, requests per kilocycle.
+        rate_per_kcycle: f64,
+        /// Mean ON-period duration, cycles.
+        mean_on_cycles: u64,
+        /// Mean OFF-period duration, cycles.
+        mean_off_cycles: u64,
+    },
+    /// A raised-cosine rate curve between `base` and `peak`, period
+    /// `period_cycles`: `rate(t) = base + (peak - base) * (1 - cos(2πt/T))/2`,
+    /// so the run starts at the trough and crests mid-period (the diurnal
+    /// day/night pattern of user-facing traffic).
+    Diurnal {
+        /// Trough arrival rate, requests per kilocycle (may be 0).
+        base_per_kcycle: f64,
+        /// Crest arrival rate, requests per kilocycle.
+        peak_per_kcycle: f64,
+        /// Period of the rate curve, cycles.
+        period_cycles: u64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Validates rates and durations.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive rates, a diurnal peak below its
+    /// base, and zero-length on/off/period durations.
+    pub fn validate(&self) -> OramResult<()> {
+        let bad = |reason: String| Err(OramError::InvalidParams { reason });
+        match *self {
+            ArrivalSpec::Poisson { rate_per_kcycle } => {
+                if !(rate_per_kcycle.is_finite() && rate_per_kcycle > 0.0) {
+                    return bad(format!(
+                        "poisson arrival rate {rate_per_kcycle} must be finite and > 0"
+                    ));
+                }
+            }
+            ArrivalSpec::Bursty {
+                rate_per_kcycle,
+                mean_on_cycles,
+                mean_off_cycles,
+            } => {
+                if !(rate_per_kcycle.is_finite() && rate_per_kcycle > 0.0) {
+                    return bad(format!(
+                        "bursty arrival rate {rate_per_kcycle} must be finite and > 0"
+                    ));
+                }
+                if mean_on_cycles == 0 || mean_off_cycles == 0 {
+                    return bad(format!(
+                        "bursty on/off means ({mean_on_cycles}, {mean_off_cycles}) must be ≥ 1 cycle"
+                    ));
+                }
+            }
+            ArrivalSpec::Diurnal {
+                base_per_kcycle,
+                peak_per_kcycle,
+                period_cycles,
+            } => {
+                if !(base_per_kcycle.is_finite() && base_per_kcycle >= 0.0) {
+                    return bad(format!(
+                        "diurnal base rate {base_per_kcycle} must be finite and ≥ 0"
+                    ));
+                }
+                if !(peak_per_kcycle.is_finite() && peak_per_kcycle > 0.0) {
+                    return bad(format!(
+                        "diurnal peak rate {peak_per_kcycle} must be finite and > 0"
+                    ));
+                }
+                if peak_per_kcycle < base_per_kcycle {
+                    return bad(format!(
+                        "diurnal peak rate {peak_per_kcycle} must be ≥ base rate {base_per_kcycle}"
+                    ));
+                }
+                if period_cycles == 0 {
+                    return bad("diurnal period must be ≥ 1 cycle".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The long-run mean arrival rate in requests per kilocycle — the
+    /// *offered load* this process contributes (duty-cycle-weighted for
+    /// bursty, curve-averaged for diurnal).
+    pub fn offered_rate_per_kcycle(&self) -> f64 {
+        match *self {
+            ArrivalSpec::Poisson { rate_per_kcycle } => rate_per_kcycle,
+            ArrivalSpec::Bursty {
+                rate_per_kcycle,
+                mean_on_cycles,
+                mean_off_cycles,
+            } => {
+                let on = mean_on_cycles as f64;
+                let off = mean_off_cycles as f64;
+                rate_per_kcycle * on / (on + off)
+            }
+            // The raised cosine averages to the midpoint over a full period.
+            ArrivalSpec::Diurnal {
+                base_per_kcycle,
+                peak_per_kcycle,
+                ..
+            } => (base_per_kcycle + peak_per_kcycle) / 2.0,
+        }
+    }
+
+    /// Renders this process's token of the spec-name grammar
+    /// (`poisson:<rate>`, `bursty:<rate>:<on>:<off>`,
+    /// `diurnal:<base>:<peak>:<period>`).
+    pub fn name(&self) -> String {
+        match *self {
+            ArrivalSpec::Poisson { rate_per_kcycle } => format!("poisson:{rate_per_kcycle}"),
+            ArrivalSpec::Bursty {
+                rate_per_kcycle,
+                mean_on_cycles,
+                mean_off_cycles,
+            } => format!("bursty:{rate_per_kcycle}:{mean_on_cycles}:{mean_off_cycles}"),
+            ArrivalSpec::Diurnal {
+                base_per_kcycle,
+                peak_per_kcycle,
+                period_cycles,
+            } => format!("diurnal:{base_per_kcycle}:{peak_per_kcycle}:{period_cycles}"),
+        }
+    }
+}
+
+impl std::fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// An open-loop serving description: arrival processes wrapped around an
+/// inner workload.
+///
+/// With one process, arrivals gate *when* the next request forms and the
+/// inner stream keeps its own tenant routing; with `N > 1` processes the
+/// inner must be an `N`-tenant [`WorkloadSpec::Mix`] and process `i` drives
+/// tenant `i`'s stream directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSpec {
+    /// The arrival processes (length 1, or one per inner-mix tenant).
+    pub arrivals: Vec<ArrivalSpec>,
+    /// The workload the admitted requests draw their accesses from.
+    pub inner: Box<WorkloadSpec>,
+}
+
+impl OpenLoopSpec {
+    /// A single arrival process over any inner workload.
+    pub fn new(arrival: ArrivalSpec, inner: WorkloadSpec) -> Self {
+        OpenLoopSpec {
+            arrivals: vec![arrival],
+            inner: Box::new(inner),
+        }
+    }
+
+    /// One arrival process per tenant of an inner mix.
+    pub fn per_tenant(arrivals: Vec<ArrivalSpec>, inner: WorkloadSpec) -> Self {
+        OpenLoopSpec {
+            arrivals,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Total offered load across all processes, requests per kilocycle.
+    pub fn offered_rate_per_kcycle(&self) -> f64 {
+        self.arrivals
+            .iter()
+            .map(ArrivalSpec::offered_rate_per_kcycle)
+            .sum()
+    }
+
+    /// Validates the processes, the inner workload, and their pairing.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty process lists, invalid processes, nested open-loop
+    /// specs, a multi-process list whose length differs from the inner
+    /// tenant count, and multi-process lists over anything but a plain
+    /// [`WorkloadSpec::Mix`] (a phased mix's activity windows are indexed
+    /// by the mix's own selection clock, which per-tenant arrival routing
+    /// replaces).
+    pub fn validate(&self) -> OramResult<()> {
+        if self.arrivals.is_empty() {
+            return Err(OramError::InvalidParams {
+                reason: "an open-loop spec needs at least one arrival process".into(),
+            });
+        }
+        for (i, a) in self.arrivals.iter().enumerate() {
+            a.validate().map_err(|e| OramError::InvalidParams {
+                reason: format!("arrival process {i}: {e}"),
+            })?;
+        }
+        if matches!(*self.inner, WorkloadSpec::OpenLoop(_)) {
+            return Err(OramError::InvalidParams {
+                reason: "open-loop specs cannot nest".into(),
+            });
+        }
+        self.inner.validate()?;
+        if self.arrivals.len() > 1 {
+            if !matches!(*self.inner, WorkloadSpec::Mix(_)) {
+                return Err(OramError::InvalidParams {
+                    reason: format!(
+                        "per-tenant arrival processes require a plain mix inner \
+(got `{}`); phased windows conflict with arrival-driven tenant routing",
+                        self.inner.name()
+                    ),
+                });
+            }
+            let tenants = self.inner.tenant_count();
+            if self.arrivals.len() != tenants {
+                return Err(OramError::InvalidParams {
+                    reason: format!(
+                        "{} arrival processes over a {tenants}-tenant mix: \
+the list must have exactly one process per tenant",
+                        self.arrivals.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the `+`-joined arrival-process list of the spec name.
+    pub fn arrivals_name(&self) -> String {
+        let tokens: Vec<String> = self.arrivals.iter().map(ArrivalSpec::name).collect();
+        tokens.join("+")
+    }
+}
+
+/// Parses the part of an `open:` spec name after the prefix: a `+`-joined
+/// arrival-process list followed by `:` and the inner spec name. Returns
+/// `None` on any token [`ArrivalSpec::name`] cannot have produced.
+pub(crate) fn parse_open(rest: &str) -> Option<OpenLoopSpec> {
+    let mut arrivals = Vec::new();
+    let mut cursor = rest;
+    loop {
+        let (spec, after) = parse_arrival(cursor)?;
+        arrivals.push(spec);
+        if let Some(more) = after.strip_prefix('+') {
+            cursor = more;
+        } else if let Some(inner) = after.strip_prefix(':') {
+            let inner = WorkloadSpec::from_name(inner)?;
+            let spec = OpenLoopSpec {
+                arrivals,
+                inner: Box::new(inner),
+            };
+            spec.validate().ok()?;
+            return Some(spec);
+        } else {
+            // The grammar requires an inner spec name after the last
+            // process token.
+            return None;
+        }
+    }
+}
+
+/// Parses one arrival token at the head of `s`; returns the process and
+/// the unconsumed remainder (starting at `+`, `:`, or empty).
+fn parse_arrival(s: &str) -> Option<(ArrivalSpec, &str)> {
+    let (kind, args) = s.split_once(':')?;
+    match kind {
+        "poisson" => {
+            let ([rate], rest) = take_args::<1>(args)?;
+            Some((
+                ArrivalSpec::Poisson {
+                    rate_per_kcycle: parse_rate(rate)?,
+                },
+                rest,
+            ))
+        }
+        "bursty" => {
+            let ([rate, on, off], rest) = take_args::<3>(args)?;
+            Some((
+                ArrivalSpec::Bursty {
+                    rate_per_kcycle: parse_rate(rate)?,
+                    mean_on_cycles: on.parse().ok()?,
+                    mean_off_cycles: off.parse().ok()?,
+                },
+                rest,
+            ))
+        }
+        "diurnal" => {
+            let ([base, peak, period], rest) = take_args::<3>(args)?;
+            Some((
+                ArrivalSpec::Diurnal {
+                    base_per_kcycle: parse_rate(base)?,
+                    peak_per_kcycle: parse_rate(peak)?,
+                    period_cycles: period.parse().ok()?,
+                },
+                rest,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Takes exactly `N` colon-separated numeric tokens off the head of `s`;
+/// tokens end at `:` or `+`, and the remainder starts at the delimiter
+/// that follows the last token.
+fn take_args<const N: usize>(mut s: &str) -> Option<([&str; N], &str)> {
+    let mut out = [""; N];
+    for (i, slot) in out.iter_mut().enumerate() {
+        if i > 0 {
+            s = s.strip_prefix(':')?;
+        }
+        let split = s.find([':', '+']).unwrap_or(s.len());
+        let (token, rest) = s.split_at(split);
+        if token.is_empty() {
+            return None;
+        }
+        *slot = token;
+        s = rest;
+    }
+    Some((out, s))
+}
+
+/// Parses a rate token, rejecting spellings [`ArrivalSpec::name`] never
+/// emits (leading `+`, `inf`, `NaN` — validation would catch the latter
+/// two anyway, but a parser should not accept what the renderer cannot
+/// produce).
+fn parse_rate(token: &str) -> Option<f64> {
+    if !token.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return None;
+    }
+    token.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::MixSpec;
+    use crate::workload::Workload;
+
+    #[test]
+    fn arrival_validation_rejects_degenerate_parameters() {
+        let bad = [
+            ArrivalSpec::Poisson {
+                rate_per_kcycle: 0.0,
+            },
+            ArrivalSpec::Poisson {
+                rate_per_kcycle: -1.0,
+            },
+            ArrivalSpec::Poisson {
+                rate_per_kcycle: f64::INFINITY,
+            },
+            ArrivalSpec::Poisson {
+                rate_per_kcycle: f64::NAN,
+            },
+            ArrivalSpec::Bursty {
+                rate_per_kcycle: 1.0,
+                mean_on_cycles: 0,
+                mean_off_cycles: 10,
+            },
+            ArrivalSpec::Bursty {
+                rate_per_kcycle: 1.0,
+                mean_on_cycles: 10,
+                mean_off_cycles: 0,
+            },
+            ArrivalSpec::Diurnal {
+                base_per_kcycle: 2.0,
+                peak_per_kcycle: 1.0,
+                period_cycles: 100,
+            },
+            ArrivalSpec::Diurnal {
+                base_per_kcycle: 0.0,
+                peak_per_kcycle: 0.0,
+                period_cycles: 100,
+            },
+            ArrivalSpec::Diurnal {
+                base_per_kcycle: 0.1,
+                peak_per_kcycle: 1.0,
+                period_cycles: 0,
+            },
+        ];
+        for spec in bad {
+            assert!(spec.validate().is_err(), "{spec:?}");
+        }
+        assert!(ArrivalSpec::Poisson {
+            rate_per_kcycle: 0.8
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn offered_rate_weights_duty_cycle_and_curve() {
+        let p = ArrivalSpec::Poisson {
+            rate_per_kcycle: 0.8,
+        };
+        assert_eq!(p.offered_rate_per_kcycle(), 0.8);
+        let b = ArrivalSpec::Bursty {
+            rate_per_kcycle: 2.0,
+            mean_on_cycles: 50_000,
+            mean_off_cycles: 150_000,
+        };
+        assert!((b.offered_rate_per_kcycle() - 0.5).abs() < 1e-12);
+        let d = ArrivalSpec::Diurnal {
+            base_per_kcycle: 0.2,
+            peak_per_kcycle: 1.4,
+            period_cycles: 1_000_000,
+        };
+        assert!((d.offered_rate_per_kcycle() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_loop_validation_pairs_processes_with_tenants() {
+        let poisson = ArrivalSpec::Poisson {
+            rate_per_kcycle: 0.5,
+        };
+        // Single process over anything valid.
+        assert!(OpenLoopSpec::new(poisson, Workload::Mcf.into())
+            .validate()
+            .is_ok());
+        // Nesting is rejected.
+        let nested = OpenLoopSpec::new(
+            poisson,
+            WorkloadSpec::OpenLoop(OpenLoopSpec::new(poisson, Workload::Mcf.into())),
+        );
+        assert!(nested.validate().is_err());
+        // Per-tenant list over a matching mix is fine.
+        let mix = WorkloadSpec::Mix(
+            MixSpec::round_robin()
+                .tenant(Workload::Redis.into(), 1)
+                .tenant(Workload::Llm.into(), 1),
+        );
+        assert!(
+            OpenLoopSpec::per_tenant(vec![poisson, poisson], mix.clone())
+                .validate()
+                .is_ok()
+        );
+        // Wrong arity.
+        let err = OpenLoopSpec::per_tenant(vec![poisson, poisson, poisson], mix)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("2-tenant"), "{err}");
+        // Per-tenant list over a single-tenant inner.
+        assert!(
+            OpenLoopSpec::per_tenant(vec![poisson, poisson], Workload::Mcf.into())
+                .validate()
+                .is_err()
+        );
+        // Empty process list.
+        assert!(OpenLoopSpec::per_tenant(vec![], Workload::Mcf.into())
+            .validate()
+            .is_err());
+    }
+}

@@ -19,11 +19,15 @@
 //! any spec's stream back to a trace file ([`capture`]), all behind one
 //! buildable, name-round-trippable spec type. Multi-tenant streams tag each
 //! access with its originating tenant ([`trace::TaggedEntry`]) so the
-//! simulator can attribute per-tenant QoS metrics.
+//! simulator can attribute per-tenant QoS metrics. Open-loop serving specs
+//! ([`arrival`]) wrap any of these with deterministic arrival processes
+//! (Poisson / bursty / diurnal, rates in requests per kilocycle) so the
+//! simulator can decouple request arrival from request completion.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrival;
 pub mod capture;
 pub mod format;
 pub mod generators;
@@ -36,6 +40,7 @@ pub mod trace;
 pub mod workload;
 pub mod zipf;
 
+pub use arrival::{ArrivalSpec, OpenLoopSpec};
 pub use capture::CaptureEncoding;
 pub use llc::{Llc, LlcConfig};
 pub use mix::{

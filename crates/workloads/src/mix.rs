@@ -127,6 +127,14 @@ impl MixSpec {
                     reason: format!("tenant {i} is itself a mix; mixes cannot nest"),
                 });
             }
+            if matches!(t.workload, WorkloadSpec::OpenLoop(_)) {
+                return Err(OramError::InvalidParams {
+                    reason: format!(
+                        "tenant {i} is an open-loop spec; arrival processes wrap a \
+mix, never the other way around"
+                    ),
+                });
+            }
             t.workload.validate()?;
         }
         Ok(())
@@ -259,6 +267,27 @@ impl MixStream {
     }
 }
 
+impl MixStream {
+    /// Pulls the next access from tenant `idx`'s child stream and offsets
+    /// it into the tenant's partition — the shared tail of both the
+    /// schedule-driven and the arrival-driven entry points.
+    fn pull_from(&mut self, idx: usize) -> TaggedEntry {
+        let tenant = &mut self.tenants[idx];
+        let entry = tenant.stream.next_access();
+        debug_assert!(
+            entry.addr.0 < tenant.footprint,
+            "tenant {idx} violated its footprint bound"
+        );
+        TaggedEntry {
+            entry: TraceEntry {
+                addr: PhysAddr::new(tenant.base + entry.addr.0),
+                op: entry.op,
+            },
+            tenant: idx as u32,
+        }
+    }
+}
+
 impl AccessStream for MixStream {
     fn next_access(&mut self) -> TraceEntry {
         self.next_tagged().entry
@@ -273,19 +302,16 @@ impl AccessStream for MixStream {
             }
             Schedule::Zipf { sampler, rng } => sampler.sample(rng) as usize,
         };
-        let tenant = &mut self.tenants[idx];
-        let entry = tenant.stream.next_access();
-        debug_assert!(
-            entry.addr.0 < tenant.footprint,
-            "tenant {idx} violated its footprint bound"
+        self.pull_from(idx)
+    }
+
+    fn next_tagged_for(&mut self, tenant: u32) -> TaggedEntry {
+        assert!(
+            (tenant as usize) < self.tenants.len(),
+            "tenant {tenant} out of range for a {}-tenant mix",
+            self.tenants.len()
         );
-        TaggedEntry {
-            entry: TraceEntry {
-                addr: PhysAddr::new(tenant.base + entry.addr.0),
-                op: entry.op,
-            },
-            tenant: idx as u32,
-        }
+        self.pull_from(tenant as usize)
     }
 
     fn tenant_count(&self) -> usize {
@@ -422,10 +448,13 @@ impl PhasedMixSpec {
             }
             if matches!(
                 t.workload,
-                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_)
+                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_) | WorkloadSpec::OpenLoop(_)
             ) {
                 return Err(OramError::InvalidParams {
-                    reason: format!("phased tenant {i} is itself a mix; mixes cannot nest"),
+                    reason: format!(
+                        "phased tenant {i} is itself a mix or open-loop spec; \
+mixes cannot nest"
+                    ),
                 });
             }
             t.workload.validate()?;

@@ -12,7 +12,10 @@
 //!   streams with per-tenant address-space partitioning (see
 //!   [`crate::mix`]);
 //! * [`WorkloadSpec::PhasedMix`] — a mix whose tenants arrive and depart
-//!   over the run via `[start, end)` activity windows in access indices.
+//!   over the run via `[start, end)` activity windows in access indices;
+//! * [`WorkloadSpec::OpenLoop`] — any of the above wrapped with open-loop
+//!   arrival processes placing request arrivals on the simulated clock
+//!   (see [`crate::arrival`]).
 //!
 //! Every spec has a canonical *name* — a short string that round-trips
 //! through [`WorkloadSpec::from_name`] — so experiment results that embed a
@@ -26,6 +29,9 @@
 //! mix:zipf0.9:redis+redis+llm        Zipf-weighted tenant selection
 //! mix:phase:redis*2+llm@500..+kv@0..2000   phased mix: llm arrives at
 //!                                    access 500, kv departs at access 2000
+//! open:poisson:0.8:mcf               open-loop Poisson arrivals (req/kcycle)
+//! open:poisson:0.5+bursty:2:5e4:15e4 is NOT valid — durations are plain
+//!                                    integers: open:bursty:2:50000:150000:llm
 //! ```
 //!
 //! A phased tenant is `child[*weight][@start..end]`: the window suffix is
@@ -37,6 +43,7 @@
 //! characters — are rejected at validation time rather than silently
 //! producing a name that cannot round-trip).
 
+use crate::arrival::OpenLoopSpec;
 use crate::mix::{MixSpec, PhaseWindow, PhasedMixSpec, TenantSelection};
 use crate::replay::TraceReplay;
 use crate::trace::AccessStream;
@@ -98,6 +105,8 @@ pub enum WorkloadSpec {
     Mix(MixSpec),
     /// A multi-tenant mix with tenant arrival/departure windows.
     PhasedMix(PhasedMixSpec),
+    /// An inner workload wrapped with open-loop arrival processes.
+    OpenLoop(OpenLoopSpec),
 }
 
 impl WorkloadSpec {
@@ -131,6 +140,9 @@ impl WorkloadSpec {
                     .map(|t| render_tenant(&t.workload, t.weight, Some(t.window)))
                     .collect();
                 format!("mix:phase:{}", tenants.join("+"))
+            }
+            WorkloadSpec::OpenLoop(o) => {
+                format!("open:{}:{}", o.arrivals_name(), o.inner.name())
             }
         }
     }
@@ -175,6 +187,9 @@ impl WorkloadSpec {
             mix.validate().ok()?;
             return Some(WorkloadSpec::Mix(mix));
         }
+        if let Some(rest) = name.strip_prefix("open:") {
+            return crate::arrival::parse_open(rest).map(WorkloadSpec::OpenLoop);
+        }
         None
     }
 
@@ -182,6 +197,16 @@ impl WorkloadSpec {
     pub fn as_table2(&self) -> Option<Workload> {
         match self {
             WorkloadSpec::Table2(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// The open-loop serving description, if this spec has one. The
+    /// simulator uses this to decide between closed-loop (pull on slot
+    /// free) and open-loop (admit on arrival) request formation.
+    pub fn open_loop(&self) -> Option<&OpenLoopSpec> {
+        match self {
+            WorkloadSpec::OpenLoop(o) => Some(o),
             _ => None,
         }
     }
@@ -195,6 +220,7 @@ impl WorkloadSpec {
             WorkloadSpec::Table2(_) | WorkloadSpec::TraceReplay(_) => 1,
             WorkloadSpec::Mix(m) => m.tenants.len(),
             WorkloadSpec::PhasedMix(m) => m.tenants.len(),
+            WorkloadSpec::OpenLoop(o) => o.inner.tenant_count(),
         }
     }
 
@@ -206,6 +232,7 @@ impl WorkloadSpec {
             WorkloadSpec::Table2(_) | WorkloadSpec::TraceReplay(_) => (i == 0).then(|| self.name()),
             WorkloadSpec::Mix(m) => m.tenants.get(i).map(|t| t.workload.name()),
             WorkloadSpec::PhasedMix(m) => m.tenants.get(i).map(|t| t.workload.name()),
+            WorkloadSpec::OpenLoop(o) => o.inner.tenant_workload_name(i),
         }
     }
 
@@ -221,6 +248,7 @@ impl WorkloadSpec {
             WorkloadSpec::TraceReplay(r) => r.validate(),
             WorkloadSpec::Mix(m) => m.validate(),
             WorkloadSpec::PhasedMix(m) => m.validate(),
+            WorkloadSpec::OpenLoop(o) => o.validate(),
         }
     }
 
@@ -234,6 +262,8 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Table2(w) => w.default_prefetch_length(),
             WorkloadSpec::TraceReplay(_) | WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_) => 1,
+            // The arrival wrapper does not change access locality.
+            WorkloadSpec::OpenLoop(o) => o.inner.default_prefetch_length(),
         }
     }
 
@@ -262,6 +292,13 @@ impl WorkloadSpec {
                 footprint_hint,
                 seed,
             )?)),
+            // The arrival processes are the simulator's job (they live on
+            // the simulated clock, not in the access stream); building an
+            // open-loop spec yields the inner stream.
+            WorkloadSpec::OpenLoop(o) => {
+                o.validate()?;
+                o.inner.build(footprint_hint, seed)
+            }
         }
     }
 }
@@ -397,9 +434,135 @@ mod tests {
             "mix:phase:redis@zz..", // unparsable window
             "mix:phase:redis@1",    // window without the `..` separator
             "mix:phase:",
+            "open:",
+            "open:mcf",                          // no arrival process
+            "open:poisson:mcf",                  // rate missing (mcf is not a rate)
+            "open:poisson:0.8",                  // no inner spec
+            "open:poisson:0:mcf",                // zero rate
+            "open:poisson:-1:mcf",               // negative rate
+            "open:poisson:inf:mcf",              // renderer never emits inf
+            "open:bursty:2:50000:mcf",           // bursty takes three arguments
+            "open:bursty:2:0:100:mcf",           // zero on-duration
+            "open:diurnal:2:1:100:mcf",          // peak below base
+            "open:poisson:1:open:poisson:1:mcf", // open-loop cannot nest
+            "open:poisson:1+poisson:2:mcf",      // two processes, one tenant
+            // two processes over a phased mix: windows conflict with
+            // arrival-driven routing
+            "open:poisson:1+poisson:2:mix:phase:redis+llm",
+            // arity mismatch: three processes, two tenants
+            "open:poisson:1+poisson:2+poisson:3:mix:rr:redis+llm",
         ] {
             assert_eq!(WorkloadSpec::from_name(bad), None, "{bad}");
         }
+    }
+
+    #[test]
+    fn open_loop_names_round_trip() {
+        use crate::arrival::{ArrivalSpec, OpenLoopSpec};
+        let specs = [
+            WorkloadSpec::OpenLoop(OpenLoopSpec::new(
+                ArrivalSpec::Poisson {
+                    rate_per_kcycle: 0.8,
+                },
+                Workload::Mcf.into(),
+            )),
+            WorkloadSpec::OpenLoop(OpenLoopSpec::new(
+                ArrivalSpec::Bursty {
+                    rate_per_kcycle: 2.0,
+                    mean_on_cycles: 50_000,
+                    mean_off_cycles: 150_000,
+                },
+                WorkloadSpec::replay("a.trace"),
+            )),
+            WorkloadSpec::OpenLoop(OpenLoopSpec::new(
+                ArrivalSpec::Diurnal {
+                    base_per_kcycle: 0.25,
+                    peak_per_kcycle: 1.5,
+                    period_cycles: 4_000_000,
+                },
+                WorkloadSpec::Mix(
+                    MixSpec::round_robin()
+                        .tenant(Workload::Redis.into(), 2)
+                        .tenant(Workload::Llm.into(), 1),
+                ),
+            )),
+            WorkloadSpec::OpenLoop(OpenLoopSpec::per_tenant(
+                vec![
+                    ArrivalSpec::Poisson {
+                        rate_per_kcycle: 0.5,
+                    },
+                    ArrivalSpec::Bursty {
+                        rate_per_kcycle: 1.25,
+                        mean_on_cycles: 10_000,
+                        mean_off_cycles: 30_000,
+                    },
+                ],
+                WorkloadSpec::Mix(
+                    MixSpec::round_robin()
+                        .tenant(Workload::Redis.into(), 1)
+                        .tenant(Workload::Llm.into(), 1),
+                ),
+            )),
+        ];
+        for spec in specs {
+            let name = spec.name();
+            assert!(!name.contains(','), "{name}");
+            assert_eq!(WorkloadSpec::from_name(&name), Some(spec.clone()), "{name}");
+            assert_eq!(format!("{spec}"), name);
+        }
+    }
+
+    #[test]
+    fn open_loop_delegates_to_the_inner_spec() {
+        use crate::arrival::{ArrivalSpec, OpenLoopSpec};
+        let poisson = ArrivalSpec::Poisson {
+            rate_per_kcycle: 0.5,
+        };
+        let spec = WorkloadSpec::OpenLoop(OpenLoopSpec::new(
+            poisson,
+            WorkloadSpec::Mix(
+                MixSpec::round_robin()
+                    .tenant(Workload::Redis.into(), 2)
+                    .tenant(Workload::Llm.into(), 1),
+            ),
+        ));
+        assert_eq!(spec.name(), "open:poisson:0.5:mix:rr:redis*2+llm");
+        assert_eq!(spec.tenant_count(), 2);
+        assert_eq!(spec.tenant_workload_name(0).as_deref(), Some("redis"));
+        assert_eq!(spec.tenant_workload_name(2), None);
+        assert_eq!(spec.as_table2(), None);
+        assert_eq!(spec.default_prefetch_length(), 1);
+        assert!(spec.open_loop().is_some());
+        assert!(WorkloadSpec::Table2(Workload::Mcf).open_loop().is_none());
+        // Building yields the inner stream (arrivals live in the simulator).
+        let mut stream = spec.build(32 << 20, 7).unwrap();
+        assert_eq!(stream.tenant_count(), 2);
+        let fp = stream.footprint_bytes();
+        for _ in 0..100 {
+            assert!(stream.next_access().addr.0 < fp);
+        }
+        // Prefetch delegation keeps Table II defaults.
+        let single = WorkloadSpec::OpenLoop(OpenLoopSpec::new(poisson, Workload::Mcf.into()));
+        assert_eq!(
+            single.default_prefetch_length(),
+            Workload::Mcf.default_prefetch_length()
+        );
+    }
+
+    #[test]
+    fn mixes_reject_open_loop_children() {
+        use crate::arrival::{ArrivalSpec, OpenLoopSpec};
+        let open = WorkloadSpec::OpenLoop(OpenLoopSpec::new(
+            ArrivalSpec::Poisson {
+                rate_per_kcycle: 1.0,
+            },
+            Workload::Redis.into(),
+        ));
+        let mix = MixSpec::round_robin().tenant(open.clone(), 1);
+        let err = mix.validate().unwrap_err();
+        assert!(err.to_string().contains("open-loop"), "{err}");
+        let phased = crate::mix::PhasedMixSpec::new().tenant(open, 1, PhaseWindow::ALWAYS);
+        assert!(phased.validate().is_err());
     }
 
     #[test]

@@ -67,6 +67,21 @@ pub trait AccessStream {
         }
     }
 
+    /// Produces the next access of a *specific* tenant, bypassing the
+    /// stream's own tenant selection. Open-loop serving uses this when a
+    /// per-tenant arrival process fires: the arrival decides *which*
+    /// tenant's request forms next, so selection moves out of the stream.
+    ///
+    /// The default implementation ignores the requested tenant and
+    /// delegates to [`AccessStream::next_tagged`] — correct for every
+    /// single-tenant stream (there is nothing to select). Multi-tenant
+    /// streams that support arrival-driven routing override it to pull
+    /// from tenant `tenant`'s child stream.
+    fn next_tagged_for(&mut self, tenant: u32) -> TaggedEntry {
+        let _ = tenant;
+        self.next_tagged()
+    }
+
     /// Number of distinct tenants this stream multiplexes (1 for every
     /// single-tenant stream). Every [`TaggedEntry::tenant`] the stream emits
     /// is below this bound.

@@ -1,6 +1,6 @@
 //! Workspace smoke test: every `examples/` target must keep compiling.
 //!
-//! The 16 examples are the user-facing entry points that reproduce the
+//! The 17 examples are the user-facing entry points that reproduce the
 //! paper's figures; this test makes `cargo test` fail fast if any of them
 //! rots, without having to execute their (much longer) full runs.
 
