@@ -207,6 +207,24 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Folds another histogram into this one: the result is byte-identical
+    /// to recording both sample streams into a single histogram (bucket
+    /// layout is fixed, so merging is element-wise). The sharded system
+    /// uses this to combine per-shard and per-tenant histograms into run
+    /// aggregates without losing exactness.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        // An empty histogram's internal min is u64::MAX, so plain min/max
+        // folds are correct for every emptiness combination.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Median estimate (`percentile(0.5)`).
     pub fn p50(&self) -> u64 {
         self.percentile(0.50)
@@ -326,6 +344,37 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.percentile(0.99), beyond + 1);
         assert_eq!(h.max(), beyond + 1);
+    }
+
+    #[test]
+    fn merging_equals_recording_the_concatenated_stream() {
+        let beyond = LATENCY_BUCKETS as u64 * LATENCY_BUCKET_CYCLES + 99;
+        let left: Vec<u64> = (0..300).map(|i| (i * 41) % 7000).collect();
+        let right: Vec<u64> = (0..200)
+            .map(|i| (i * 13) % 9000 + 50)
+            .chain([beyond])
+            .collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for &s in &left {
+            a.record(s);
+            combined.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+            combined.record(s);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, combined);
+        // Merging an empty histogram in either direction is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&LatencyHistogram::new());
+        assert_eq!(with_empty, a);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
     }
 
     #[test]

@@ -42,6 +42,11 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/sim/src/d02.rs", 15, "D02"), // available_parallelism
     ("crates/sim/src/serving.rs", 7, "D02"), // SystemTime::now() seeding arrivals
     ("crates/sim/src/serving.rs", 14, "D02"), // env-knob queue capacity
+    ("crates/sim/src/shard_merge.rs", 7, "D01"), // per-shard HashMap field
+    ("crates/sim/src/shard_merge.rs", 12, "D01"), // hash-ordered shard merge
+    ("crates/sim/src/shard_merge.rs", 19, "D02"), // ambient pool sizing
+    ("crates/sim/src/shard_merge.rs", 22, "D03"), // ThreadId in type position
+    ("crates/sim/src/shard_merge.rs", 23, "D03"), // thread::current() shard tag
 ];
 
 #[test]
@@ -88,6 +93,7 @@ fn suppressions_and_exemptions_leave_holes_where_designed() {
     none_at("crates/demo/src/d03.rs", 18);
     none_at("crates/demo/src/d04.rs", 13);
     none_at("crates/sim/src/d02.rs", 22);
+    none_at("crates/sim/src/shard_merge.rs", 28);
     // Trailing marker covers its own line; code selector `P01` works too.
     none_at("crates/demo/src/markers.rs", 24);
     none_at("crates/demo/src/markers.rs", 29);
@@ -125,6 +131,32 @@ fn serving_subsystem_is_in_d02_scope() {
         assert!(lints::d02_in_scope(path), "{path} left the D02 scope");
     }
     assert!(!lints::d02_in_scope("crates/bench/src/lib.rs"));
+}
+
+/// Pins the lint scope over the sharding module: the router, the sharded
+/// system, and its merge all live inside the deterministic core, so
+/// D01–D03 (hash-ordered iteration is workspace-wide; ambient state via
+/// the D02 scope) keep covering them wherever the code moves.
+#[test]
+fn sharding_module_is_in_lint_scope() {
+    for path in [
+        "crates/sim/src/shard.rs",
+        "crates/sim/src/experiment/results.rs",
+        "crates/workloads/src/shard.rs",
+    ] {
+        assert!(lints::d02_in_scope(path), "{path} left the D02 scope");
+    }
+    // The fixture tree carries a shard-shaped file so the merge-specific
+    // D01/D03 detections stay pinned at exact lines (see `EXPECTED`).
+    let findings = fixture_findings();
+    for code in ["D01", "D02", "D03"] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.file == "crates/sim/src/shard_merge.rs" && f.code == code),
+            "shard-shaped fixture lost its {code} coverage"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,29 @@
+//! Shard-merge fixture: cross-shard result merging shaped like the real
+//! sharding module — it must not regress into hash-ordered iteration,
+//! ambient pool sizing, or thread-identity tags.
+use std::collections::HashMap;
+
+pub struct ShardResults {
+    pub per_shard: HashMap<u32, u64>,
+}
+
+pub fn merge(results: &ShardResults) -> u64 {
+    let mut total = 0;
+    for (_shard, count) in results.per_shard.iter() {
+        total += *count;
+    }
+    total
+}
+
+pub fn pool_width() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+pub fn shard_tag() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+pub fn justified_width() -> usize {
+    // audit:allow(ambient-state, thread count affects scheduling only; merge order is pinned)
+    std::thread::available_parallelism().map_or(1, usize::from)
+}

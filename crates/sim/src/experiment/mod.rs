@@ -42,7 +42,7 @@ pub mod executor;
 pub mod results;
 
 pub use executor::{Executor, SerialExecutor, ThreadPoolExecutor};
-pub use results::{ResultSet, RunRecord, RunSummary, TenantSummary};
+pub use results::{ResultSet, RunRecord, RunSummary, ShardSummary, TenantSummary};
 
 use crate::runner::{run_with_configs_spec, run_workload_spec, RunMetrics};
 use crate::schemes::Scheme;

@@ -50,6 +50,31 @@ impl RunRecord {
             .collect()
     }
 
+    /// The per-shard summaries of this record, one per shard in shard
+    /// order (empty for single-system runs).
+    pub fn shard_summaries(&self) -> Vec<ShardSummary> {
+        self.metrics
+            .per_shard
+            .iter()
+            .map(|s| ShardSummary {
+                label: self.label.clone(),
+                scheme: self.scheme,
+                workload: self.workload.clone(),
+                shard: s.shard,
+                oram_requests: s.oram_requests,
+                workload_accesses: s.workload_accesses,
+                dummy_requests: s.dummy_requests,
+                cycles: s.cycles,
+                submitted_requests: s.submitted_requests,
+                arrivals: s.arrivals,
+                dropped_arrivals: s.dropped_arrivals,
+                mean_latency: s.latency.mean(),
+                p99_latency: s.latency.p99(),
+                stash_high_water: s.stash_high_water,
+            })
+            .collect()
+    }
+
     /// The scalar summary of this record used by the CSV/JSON exports.
     pub fn summary(&self) -> RunSummary {
         RunSummary {
@@ -69,6 +94,7 @@ impl RunRecord {
             arrivals: self.metrics.arrivals,
             dropped_arrivals: self.metrics.dropped_arrivals,
             mean_queue_wait: self.metrics.mean_queue_wait(),
+            shards: self.metrics.per_shard.len() as u32,
         }
     }
 }
@@ -114,13 +140,16 @@ pub struct RunSummary {
     pub dropped_arrivals: u64,
     /// Mean admission-queue wait in cycles (0 for closed-loop runs).
     pub mean_queue_wait: f64,
+    /// Shard count of a sharded run (0 for single-system runs — the
+    /// per-shard rows live in the shard CSV/JSON documents).
+    pub shards: u32,
 }
 
 impl RunSummary {
     /// The CSV header row matching [`RunSummary::to_csv_row`].
     pub const CSV_HEADER: &'static str = "label,scheme,workload,prefetch_length,oram_requests,\
 workload_accesses,dummy_requests,cycles,mean_latency,llc_hit_rate,stash_high_water,\
-bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wait";
+bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wait,shards";
 
     /// Measured workload accesses per cycle (the end-to-end speedup metric).
     pub fn accesses_per_cycle(&self) -> f64 {
@@ -133,7 +162,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
     /// Renders one CSV data row (no trailing newline).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             sanitize_csv(&self.label),
             self.scheme,
             sanitize_csv(&self.workload.name()),
@@ -150,6 +179,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
             self.arrivals,
             self.dropped_arrivals,
             self.mean_queue_wait,
+            self.shards,
         )
     }
 
@@ -157,7 +187,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
     /// Returns `None` on a malformed row or an unknown scheme/workload name.
     pub fn from_csv_row(row: &str) -> Option<RunSummary> {
         let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 16 {
+        if fields.len() != 17 {
             return None;
         }
         Some(RunSummary {
@@ -177,6 +207,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
             arrivals: fields[13].parse().ok()?,
             dropped_arrivals: fields[14].parse().ok()?,
             mean_queue_wait: fields[15].parse().ok()?,
+            shards: fields[16].parse().ok()?,
         })
     }
 
@@ -187,7 +218,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
 \"prefetch_length\":{},\"oram_requests\":{},\"workload_accesses\":{},\
 \"dummy_requests\":{},\"cycles\":{},\"mean_latency\":{},\"llc_hit_rate\":{},\
 \"stash_high_water\":{},\"bandwidth_utilization\":{},\"sync_stall_cycles\":{},\
-\"arrivals\":{},\"dropped_arrivals\":{},\"mean_queue_wait\":{}}}",
+\"arrivals\":{},\"dropped_arrivals\":{},\"mean_queue_wait\":{},\"shards\":{}}}",
             escape_json(&self.label),
             self.scheme,
             escape_json(&self.workload.name()),
@@ -204,6 +235,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
             self.arrivals,
             self.dropped_arrivals,
             self.mean_queue_wait,
+            self.shards,
         )
     }
 }
@@ -320,6 +352,139 @@ dram_ops,dram_share";
             self.dram_share,
         )
     }
+}
+
+/// One shard's scalar summary of one sharded run, exported to the
+/// per-shard CSV/JSON documents ([`ResultSet::to_shard_csv`] /
+/// [`ResultSet::to_shard_json`]) and parsed back by the round-trip
+/// helpers. One sharded run contributes one row per shard; single-system
+/// runs contribute none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// The run's label (commas become `;` in CSV output).
+    pub label: String,
+    /// The scheme.
+    pub scheme: Scheme,
+    /// The workload spec of the whole run (canonical name in the exports).
+    pub workload: WorkloadSpec,
+    /// Shard index within the run.
+    pub shard: u32,
+    /// Real ORAM requests the shard completed in its measured window.
+    pub oram_requests: u64,
+    /// Workload accesses consumed by the shard's completed requests.
+    pub workload_accesses: u64,
+    /// Dummy (background-eviction) requests the shard completed.
+    pub dummy_requests: u64,
+    /// Cycles the shard spent in its measured window.
+    pub cycles: u64,
+    /// Real requests the shard submitted while measuring.
+    pub submitted_requests: u64,
+    /// Open-loop arrivals the shard resolved (0 for closed-loop runs).
+    pub arrivals: u64,
+    /// Open-loop arrivals the shard's admission policy dropped.
+    pub dropped_arrivals: u64,
+    /// Mean response latency of the shard's completions, in cycles.
+    pub mean_latency: f64,
+    /// 99th-percentile tail latency estimate in cycles.
+    pub p99_latency: u64,
+    /// Highest stash occupancy the shard's hierarchy observed.
+    pub stash_high_water: usize,
+}
+
+impl ShardSummary {
+    /// The CSV header row matching [`ShardSummary::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "label,scheme,workload,shard,oram_requests,\
+workload_accesses,dummy_requests,cycles,submitted_requests,arrivals,dropped_arrivals,\
+mean_latency,p99_latency,stash_high_water";
+
+    /// Renders one CSV data row (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            sanitize_csv(&self.label),
+            self.scheme,
+            sanitize_csv(&self.workload.name()),
+            self.shard,
+            self.oram_requests,
+            self.workload_accesses,
+            self.dummy_requests,
+            self.cycles,
+            self.submitted_requests,
+            self.arrivals,
+            self.dropped_arrivals,
+            self.mean_latency,
+            self.p99_latency,
+            self.stash_high_water,
+        )
+    }
+
+    /// Parses one CSV data row produced by [`ShardSummary::to_csv_row`].
+    /// Returns `None` on a malformed row or an unknown scheme/workload name.
+    pub fn from_csv_row(row: &str) -> Option<ShardSummary> {
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 14 {
+            return None;
+        }
+        Some(ShardSummary {
+            label: fields[0].to_string(),
+            scheme: Scheme::from_name(fields[1])?,
+            workload: WorkloadSpec::from_name(fields[2])?,
+            shard: fields[3].parse().ok()?,
+            oram_requests: fields[4].parse().ok()?,
+            workload_accesses: fields[5].parse().ok()?,
+            dummy_requests: fields[6].parse().ok()?,
+            cycles: fields[7].parse().ok()?,
+            submitted_requests: fields[8].parse().ok()?,
+            arrivals: fields[9].parse().ok()?,
+            dropped_arrivals: fields[10].parse().ok()?,
+            mean_latency: fields[11].parse().ok()?,
+            p99_latency: fields[12].parse().ok()?,
+            stash_high_water: fields[13].parse().ok()?,
+        })
+    }
+
+    /// Renders this summary as one flat JSON object.
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\"shard\":{},\
+\"oram_requests\":{},\"workload_accesses\":{},\"dummy_requests\":{},\"cycles\":{},\
+\"submitted_requests\":{},\"arrivals\":{},\"dropped_arrivals\":{},\"mean_latency\":{},\
+\"p99_latency\":{},\"stash_high_water\":{}}}",
+            escape_json(&self.label),
+            self.scheme,
+            escape_json(&self.workload.name()),
+            self.shard,
+            self.oram_requests,
+            self.workload_accesses,
+            self.dummy_requests,
+            self.cycles,
+            self.submitted_requests,
+            self.arrivals,
+            self.dropped_arrivals,
+            self.mean_latency,
+            self.p99_latency,
+            self.stash_high_water,
+        )
+    }
+}
+
+fn shard_summary_from_json_object(object: &str) -> Option<ShardSummary> {
+    Some(ShardSummary {
+        label: json_field(object, "label")?,
+        scheme: Scheme::from_name(&json_field(object, "scheme")?)?,
+        workload: WorkloadSpec::from_name(&json_field(object, "workload")?)?,
+        shard: json_field(object, "shard")?.parse().ok()?,
+        oram_requests: json_field(object, "oram_requests")?.parse().ok()?,
+        workload_accesses: json_field(object, "workload_accesses")?.parse().ok()?,
+        dummy_requests: json_field(object, "dummy_requests")?.parse().ok()?,
+        cycles: json_field(object, "cycles")?.parse().ok()?,
+        submitted_requests: json_field(object, "submitted_requests")?.parse().ok()?,
+        arrivals: json_field(object, "arrivals")?.parse().ok()?,
+        dropped_arrivals: json_field(object, "dropped_arrivals")?.parse().ok()?,
+        mean_latency: json_field(object, "mean_latency")?.parse().ok()?,
+        p99_latency: json_field(object, "p99_latency")?.parse().ok()?,
+        stash_high_water: json_field(object, "stash_high_water")?.parse().ok()?,
+    })
 }
 
 fn tenant_summary_from_json_object(object: &str) -> Option<TenantSummary> {
@@ -584,6 +749,66 @@ impl ResultSet {
         }
         Some(summaries)
     }
+
+    /// The per-shard summaries of every record, flattened in grid order
+    /// (record by record, shards in shard order within each record).
+    /// Single-system records contribute no rows.
+    pub fn shard_summaries(&self) -> Vec<ShardSummary> {
+        self.records
+            .iter()
+            .flat_map(RunRecord::shard_summaries)
+            .collect()
+    }
+
+    /// Renders the per-shard attribution table as CSV (header row first),
+    /// one row per (sharded run, shard).
+    pub fn to_shard_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", ShardSummary::CSV_HEADER);
+        for summary in self.shard_summaries() {
+            let _ = writeln!(out, "{}", summary.to_csv_row());
+        }
+        out
+    }
+
+    /// Parses CSV produced by [`ResultSet::to_shard_csv`] back into
+    /// per-shard summaries. Returns `None` on a malformed document.
+    pub fn parse_shard_csv(csv: &str) -> Option<Vec<ShardSummary>> {
+        let mut lines = csv.lines();
+        if lines.next()? != ShardSummary::CSV_HEADER {
+            return None;
+        }
+        lines.map(ShardSummary::from_csv_row).collect()
+    }
+
+    /// Renders the per-shard attribution table as a JSON array of flat
+    /// objects.
+    pub fn to_shard_json(&self) -> String {
+        let objects: Vec<String> = self
+            .shard_summaries()
+            .iter()
+            .map(|s| format!("  {}", s.to_json_object()))
+            .collect();
+        if objects.is_empty() {
+            return "[]\n".to_string();
+        }
+        format!("[\n{}\n]\n", objects.join(",\n"))
+    }
+
+    /// Parses JSON produced by [`ResultSet::to_shard_json`] back into
+    /// per-shard summaries. Returns `None` on malformed input.
+    pub fn parse_shard_json(json: &str) -> Option<Vec<ShardSummary>> {
+        let body = json.trim();
+        let body = body.strip_prefix('[')?.strip_suffix(']')?.trim();
+        if body.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut summaries = Vec::new();
+        for object in split_top_level_objects(body)? {
+            summaries.push(shard_summary_from_json_object(&object)?);
+        }
+        Some(summaries)
+    }
 }
 
 impl<'a> IntoIterator for &'a ResultSet {
@@ -700,6 +925,7 @@ fn summary_from_json_object(object: &str) -> Option<RunSummary> {
         arrivals: json_field(object, "arrivals")?.parse().ok()?,
         dropped_arrivals: json_field(object, "dropped_arrivals")?.parse().ok()?,
         mean_queue_wait: json_field(object, "mean_queue_wait")?.parse().ok()?,
+        shards: json_field(object, "shards")?.parse().ok()?,
     })
 }
 
@@ -789,6 +1015,80 @@ mod tests {
             Vec::new()
         );
         assert!(ResultSet::parse_tenant_csv("nope\n1,2").is_none());
+    }
+
+    fn shard_set() -> ResultSet {
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 20;
+        cfg.warmup_requests = 4;
+        Experiment::new(cfg)
+            .schemes([Scheme::RingOram])
+            .workload_specs([WorkloadSpec::from_name("shard:2:hash:random").unwrap()])
+            .run(&SerialExecutor)
+            .unwrap()
+    }
+
+    #[test]
+    fn shard_csv_round_trips_exactly() {
+        let set = shard_set();
+        let summaries = set.shard_summaries();
+        assert_eq!(summaries.len(), 2, "one row per shard");
+        assert_eq!(summaries[0].shard, 0);
+        assert_eq!(summaries[1].shard, 1);
+        assert_eq!(set.summaries()[0].shards, 2);
+        let parsed = ResultSet::parse_shard_csv(&set.to_shard_csv()).unwrap();
+        assert_eq!(parsed, summaries);
+        // Single-system sets export no shard rows and a shards count of 0.
+        let single = small_set();
+        assert!(single.shard_summaries().is_empty());
+        assert!(single.summaries().iter().all(|s| s.shards == 0));
+        assert!(ResultSet::parse_shard_csv("nope\n1,2").is_none());
+    }
+
+    #[test]
+    fn shard_json_round_trips_exactly() {
+        let set = shard_set();
+        let parsed = ResultSet::parse_shard_json(&set.to_shard_json()).unwrap();
+        assert_eq!(parsed, set.shard_summaries());
+        assert_eq!(ResultSet::parse_shard_json("[]").unwrap(), Vec::new());
+        assert_eq!(
+            ResultSet::parse_shard_json(&ResultSet::default().to_shard_json()).unwrap(),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn shard_exports_survive_hostile_labels_both_directions() {
+        let set = shard_set();
+        let mut record = set.records()[0].clone();
+        record.label = "odd \"label\" with {braces},\ncommas\tand\u{1}controls".to_string();
+        let odd = ResultSet::new(vec![record]);
+        let parsed = ResultSet::parse_shard_json(&odd.to_shard_json()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0].label,
+            "odd \"label\" with {braces},\ncommas\tand\u{1}controls"
+        );
+        assert_eq!(parsed[0].workload.name(), "shard:2:hash:random");
+        assert!(!odd
+            .to_shard_json()
+            .chars()
+            .any(|c| c.is_control() && c != '\n'));
+        // CSV flattens the label but stays one well-formed row per shard.
+        let csv = odd.to_shard_csv();
+        assert_eq!(csv.lines().count(), 3);
+        let parsed = ResultSet::parse_shard_csv(&csv).unwrap();
+        assert_eq!(
+            parsed[1].label,
+            "odd \"label\" with {braces}; commas and controls"
+        );
+        // The sharded run-level summary round-trips through both formats
+        // too (its workload cell carries the reserved `:`-grammar name).
+        let run_parsed = ResultSet::parse_csv(&odd.to_csv()).unwrap();
+        assert_eq!(run_parsed[0].shards, 2);
+        assert_eq!(run_parsed[0].workload.name(), "shard:2:hash:random");
+        let run_parsed = ResultSet::parse_json(&odd.to_json()).unwrap();
+        assert_eq!(run_parsed, odd.summaries());
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod figures;
 pub mod runner;
 pub mod schemes;
 pub mod serving;
+pub mod shard;
 pub mod system;
 
 pub use experiment::{
@@ -21,11 +22,14 @@ pub use experiment::{
 };
 pub use runner::{
     run_workload, run_workload_spec, run_workload_spec_stepped, run_workload_stepped, EventStepper,
-    ReferenceStepper, RunMetrics, Stepper,
+    ReferenceStepper, RunMetrics, ShardMetrics, Stepper, TenantMetrics,
 };
 pub use schemes::Scheme;
 pub use serving::{
     AdmissionOutcome, AdmissionPolicy, AdmissionPolicyKind, Arrival, ArrivalProcess, ServingEngine,
+};
+pub use shard::{
+    PooledShardStepper, SerialShardStepper, ShardStepper, ShardedSystem, SingleSystem, SystemShape,
 };
 pub use system::SystemConfig;
 // Re-exported so experiment code can name specs without a second import.

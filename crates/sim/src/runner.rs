@@ -35,7 +35,7 @@ use palermo_oram::crypto::Payload;
 use palermo_oram::error::{OramError, OramResult};
 use palermo_oram::hierarchy::HierarchicalOram;
 use palermo_oram::types::{OramOp, PhysAddr};
-use palermo_workloads::{Llc, Workload, WorkloadSpec};
+use palermo_workloads::{AccessStream, Llc, OpenLoopSpec, Workload, WorkloadSpec};
 
 /// Controller clock frequency in Hz (Table III: 1.6 GHz, shared with the
 /// DRAM command clock).
@@ -142,6 +142,38 @@ impl TenantMetrics {
     }
 }
 
+/// The aggregate slice of one shard of a sharded run: what that shard's
+/// independent ORAM instance contributed to the merged [`RunMetrics`].
+///
+/// Everything here is integer-accumulated (the histogram is fixed-bucket),
+/// so serial and pooled shard stepping produce byte-identical vectors —
+/// compared with `==` by the sharding determinism tests. Sums across shards
+/// reproduce the merged aggregates ([`RunMetrics::shard_conservation_ok`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shard index (0-based, dense).
+    pub shard: u32,
+    /// Real ORAM requests this shard completed in its measured window.
+    pub oram_requests: u64,
+    /// Workload accesses consumed by this shard's completed requests.
+    pub workload_accesses: u64,
+    /// Dummy (background-eviction) requests this shard completed.
+    pub dummy_requests: u64,
+    /// Cycles this shard's controller/DRAM spent in its measured window.
+    /// The merged aggregate takes the max across shards (the makespan).
+    pub cycles: u64,
+    /// Real requests this shard submitted while measuring.
+    pub submitted_requests: u64,
+    /// Open-loop arrivals this shard resolved in its window (0 closed-loop).
+    pub arrivals: u64,
+    /// Open-loop arrivals this shard's admission policy dropped.
+    pub dropped_arrivals: u64,
+    /// Fixed-bucket service-latency histogram of this shard's completions.
+    pub latency: LatencyHistogram,
+    /// Highest stash occupancy this shard's hierarchy observed.
+    pub stash_high_water: usize,
+}
+
 /// Metrics collected over the measured window of one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
@@ -216,6 +248,11 @@ pub struct RunMetrics {
     /// request `i`'s end-to-end latency, exactly. Empty for closed-loop
     /// runs.
     pub queue_waits: Vec<u64>,
+    /// Per-shard attribution of a sharded run, indexed by shard id in
+    /// strict shard order (empty for single-system runs). Count sums
+    /// reproduce the aggregates and `cycles`/`stash_high_water` are maxima
+    /// ([`RunMetrics::shard_conservation_ok`]).
+    pub per_shard: Vec<ShardMetrics>,
 }
 
 impl RunMetrics {
@@ -298,6 +335,35 @@ impl RunMetrics {
                 .iter()
                 .enumerate()
                 .all(|(i, t)| t.tenant as usize == i && t.latency.count() == t.completed)
+    }
+
+    /// Checks the per-shard conservation invariant of a merged sharded
+    /// run: count-like fields sum exactly to the aggregates, the aggregate
+    /// `cycles` is the shard makespan (max), `stash_high_water` is the max,
+    /// the shard latency histograms account for every recorded latency, and
+    /// shard ids are dense in order. Trivially `true` for single-system
+    /// runs (no per-shard attribution).
+    pub fn shard_conservation_ok(&self) -> bool {
+        if self.per_shard.is_empty() {
+            return true;
+        }
+        let sum = |f: fn(&ShardMetrics) -> u64| -> u64 { self.per_shard.iter().map(f).sum() };
+        sum(|s| s.oram_requests) == self.oram_requests
+            && sum(|s| s.workload_accesses) == self.workload_accesses
+            && sum(|s| s.dummy_requests) == self.dummy_requests
+            && sum(|s| s.submitted_requests) == self.submitted_requests
+            && sum(|s| s.arrivals) == self.arrivals
+            && sum(|s| s.dropped_arrivals) == self.dropped_arrivals
+            && sum(|s| s.latency.sum()) == self.latencies.iter().sum::<u64>()
+            && sum(|s| s.latency.count()) == self.latencies.len() as u64
+            && self.per_shard.iter().map(|s| s.cycles).max() == Some(self.cycles)
+            && self.per_shard.iter().map(|s| s.stash_high_water).max()
+                == Some(self.stash_high_water)
+            && self
+                .per_shard
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.shard as usize == i && s.latency.count() == s.oram_requests)
     }
 
     /// Open-loop arrivals admitted in the measured window
@@ -440,7 +506,11 @@ impl InFlightTable {
 /// cycles. The two implementations must produce byte-identical
 /// [`RunMetrics`]; `tests/stepper_equivalence.rs` enforces this over the
 /// full scheme × workload grid.
-pub trait Stepper {
+///
+/// `Sync` is a supertrait so one `&dyn Stepper` can drive every shard of a
+/// sharded run across `std::thread::scope` threads — steppers are stateless
+/// strategies (both implementations are zero-sized), so this costs nothing.
+pub trait Stepper: Sync {
     /// Possibly advance time after one reference iteration. `quiescent` is
     /// `true` only when the iteration proved the system state frozen until
     /// the next predictable event: the controller tick settled (no retire,
@@ -653,6 +723,19 @@ pub fn run_workload_spec_stepped(
     config: &SystemConfig,
     stepper: &dyn Stepper,
 ) -> OramResult<RunMetrics> {
+    // Sharded specs run as K independent systems with deterministically
+    // merged metrics. Serial shard stepping is the default here so nesting
+    // (a `ThreadPoolExecutor` running many sharded runs) never
+    // oversubscribes cores — `crate::shard::PooledShardStepper` is proven
+    // byte-identical, so this is purely a scheduling choice.
+    if spec.sharded().is_some() {
+        let system = crate::shard::ShardedSystem::new(scheme, spec, config)?;
+        return crate::shard::ShardStepper::run(
+            &crate::shard::SerialShardStepper,
+            &system,
+            stepper,
+        );
+    }
     let params = config.hierarchy_params()?;
     let prefetch_length = if scheme.uses_prefetch() {
         config
@@ -701,15 +784,17 @@ pub fn run_with_configs_stepped(
     )
 }
 
-/// The fully general simulation entry point: explicit protocol/controller
-/// configurations, an arbitrary [`WorkloadSpec`], and an explicit
-/// clock-advance strategy. Everything else in this module lowers to this
-/// function.
+/// The fully general single-system simulation entry point: explicit
+/// protocol/controller configurations, an arbitrary [`WorkloadSpec`], and
+/// an explicit clock-advance strategy. Everything else in this module
+/// lowers to this function (sharded specs instead lower to one core-loop
+/// call per shard via `crate::shard`).
 ///
 /// # Errors
 ///
 /// Propagates protocol-configuration and workload-spec build errors.
-#[allow(clippy::too_many_lines)]
+/// Rejects sharded specs: explicit protocol configurations describe one
+/// system, and a sharded run derives one configuration per shard.
 pub fn run_with_configs_spec_stepped(
     scheme: Scheme,
     hierarchy_cfg: palermo_oram::hierarchy::HierarchyConfig,
@@ -719,11 +804,57 @@ pub fn run_with_configs_spec_stepped(
     prefetch_length: u32,
     stepper: &dyn Stepper,
 ) -> OramResult<RunMetrics> {
+    if spec.sharded().is_some() {
+        return Err(OramError::InvalidParams {
+            reason: format!(
+                "sharded spec '{spec}' cannot run under one explicit protocol \
+configuration; use run_workload_spec, which derives a configuration per shard"
+            ),
+        });
+    }
+    let mut stream = spec.build(config.stream_footprint_hint(), config.stream_seed())?;
+    run_core(
+        scheme,
+        hierarchy_cfg,
+        controller_cfg,
+        spec,
+        spec.open_loop(),
+        stream.as_mut(),
+        config,
+        prefetch_length,
+        stepper,
+    )
+}
+
+/// The simulation loop proper, over an already-built access stream.
+///
+/// This is the seam the sharded system drives each shard through:
+/// `label_spec` only labels the returned metrics (every shard of a sharded
+/// run carries the full sharded spec), `open` supplies the (per-shard
+/// rate-scaled) serving description explicitly instead of deriving it from
+/// the label, and the stream is whatever view the caller built — the whole
+/// workload, or one shard's filtered slice of it.
+///
+/// # Errors
+///
+/// Propagates protocol-configuration errors and rejects non-Table II
+/// streams whose footprint overruns the protected space.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub(crate) fn run_core(
+    scheme: Scheme,
+    hierarchy_cfg: palermo_oram::hierarchy::HierarchyConfig,
+    controller_cfg: palermo_controller::ControllerConfig,
+    label_spec: &WorkloadSpec,
+    open: Option<&OpenLoopSpec>,
+    stream: &mut dyn AccessStream,
+    config: &SystemConfig,
+    prefetch_length: u32,
+    stepper: &dyn Stepper,
+) -> OramResult<RunMetrics> {
     let mut oram = HierarchicalOram::new(hierarchy_cfg)?;
     let mut controller = OramController::new(controller_cfg);
     let mut dram = DramSystem::new(config.dram);
     let mut llc = Llc::new(config.llc);
-    let mut stream = spec.build(config.stream_footprint_hint(), config.stream_seed())?;
 
     // Table II generators scale themselves to the footprint hint, but the
     // data-driven specs cannot: a replay's footprint is whatever the trace
@@ -731,12 +862,12 @@ pub fn run_with_configs_spec_stepped(
     // overruns the protected space the modulo below would silently wrap it,
     // aliasing tenant partitions / destroying the trace's locality while
     // reporting metrics as if it ran faithfully — reject instead.
-    if !matches!(spec, WorkloadSpec::Table2(_)) {
+    if !matches!(label_spec, WorkloadSpec::Table2(_)) {
         let footprint = stream.footprint_bytes();
         if footprint > config.protected_bytes {
             return Err(OramError::InvalidParams {
                 reason: format!(
-                    "workload spec '{spec}' needs a {footprint}-byte footprint but only \
+                    "workload spec '{label_spec}' needs a {footprint}-byte footprint but only \
 {} bytes are protected; addresses would wrap and alias (shrink the trace/mix \
 or raise protected_bytes)",
                     config.protected_bytes
@@ -757,7 +888,7 @@ or raise protected_bytes)",
     // clock and requests stage only when an admitted arrival is waiting.
     // Closed-loop specs (`serving == None`) stage greedily, exactly as
     // before.
-    let mut serving = spec.open_loop().map(|o| {
+    let mut serving = open.map(|o| {
         ServingEngine::new(
             o,
             config.serving_queue_capacity,
@@ -784,7 +915,7 @@ or raise protected_bytes)",
 
     let mut metrics = RunMetrics {
         scheme,
-        workload: spec.clone(),
+        workload: label_spec.clone(),
         oram_requests: 0,
         workload_accesses: 0,
         dummy_requests: 0,
@@ -809,6 +940,7 @@ or raise protected_bytes)",
         arrivals: 0,
         dropped_arrivals: 0,
         queue_waits: Vec::new(),
+        per_shard: Vec::new(),
     };
 
     let sample_every = (config.measured_requests / 100).max(1);
@@ -1309,6 +1441,7 @@ mod tests {
             arrivals: 0,
             dropped_arrivals: 0,
             queue_waits: vec![],
+            per_shard: vec![],
         };
         assert_eq!(m.requests_per_second(), 0.0);
         assert_eq!(m.mean_latency(), 0.0);

@@ -1,0 +1,617 @@
+//! Sharded multi-controller scale-out: K independent ORAM systems behind
+//! one workload.
+//!
+//! A [`ShardedSystem`] partitions the protected address space across K
+//! fully independent ORAM instances — per-shard position map, stash, and
+//! DRAM channels — using a [`palermo_workloads::ShardRouter`] to split the
+//! access stream. Each shard is driven by the ordinary single-system core
+//! loop (through the existing [`Stepper`] machinery) and
+//! the per-shard [`RunMetrics`] are merged deterministically, in strict
+//! shard-index order, with per-shard and per-tenant attribution both
+//! preserved and conservation-checked.
+//!
+//! Because shards share no state, shard stepping is a pure scheduling
+//! choice: [`SerialShardStepper`] runs the shards one after another on the
+//! calling thread, [`PooledShardStepper`] fans them across
+//! [`std::thread::scope`] workers, and the two are byte-identical by
+//! construction (each shard's run depends only on its own derived seed and
+//! its own filtered stream). `tests/shard_scaling.rs` pins that identity
+//! over a K × scheme grid.
+//!
+//! # Determinism contract
+//!
+//! * Every shard rebuilds the *global* workload stream from the global
+//!   stream seed and filters it through the router, so the set of accesses
+//!   a shard sees is independent of how the other shards are scheduled.
+//! * Per-shard protocol seeds are derived from the global seed by SplitMix64
+//!   expansion (the same idiom the multi-tenant mix uses per tenant), so
+//!   shard i's leaf randomness never depends on K's scheduling.
+//! * The merge folds shard results in shard-index order only — no
+//!   completion-order or thread-order dependence anywhere.
+
+use crate::runner::{run_core, RunMetrics, ShardMetrics, Stepper, TenantMetrics};
+use crate::schemes::Scheme;
+use crate::system::SystemConfig;
+use palermo_analysis::LatencyHistogram;
+use palermo_dram::DramStats;
+use palermo_oram::error::{OramError, OramResult};
+use palermo_oram::rng::SplitMix64;
+use palermo_workloads::{OpenLoopSpec, ShardRouter, ShardSpec, ShardStream, WorkloadSpec};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A runnable system shape: the simulator's second axis of composition.
+///
+/// [`SingleSystem`] is the classic one-controller shape;
+/// [`ShardedSystem`] is K of them behind a router. Both produce a
+/// [`RunMetrics`] from a clock-advance strategy, so experiment code can
+/// hold either behind one trait object.
+pub trait SystemShape {
+    /// Number of independent ORAM instances this shape drives.
+    fn shard_count(&self) -> u32;
+
+    /// Runs the shape to completion under the given clock-advance strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol-configuration and workload-spec build errors.
+    fn run(&self, stepper: &dyn Stepper) -> OramResult<RunMetrics>;
+}
+
+/// The classic one-controller system, as a [`SystemShape`].
+///
+/// Thin value wrapper over [`crate::runner::run_workload_spec_stepped`]:
+/// exists so call sites that select a shape at runtime can treat single and
+/// sharded systems uniformly.
+#[derive(Debug, Clone)]
+pub struct SingleSystem {
+    scheme: Scheme,
+    spec: WorkloadSpec,
+    config: SystemConfig,
+}
+
+impl SingleSystem {
+    /// Wraps one (scheme, spec, config) triple as a runnable shape.
+    pub fn new(scheme: Scheme, spec: WorkloadSpec, config: SystemConfig) -> Self {
+        SingleSystem {
+            scheme,
+            spec,
+            config,
+        }
+    }
+}
+
+impl SystemShape for SingleSystem {
+    fn shard_count(&self) -> u32 {
+        1
+    }
+
+    fn run(&self, stepper: &dyn Stepper) -> OramResult<RunMetrics> {
+        crate::runner::run_workload_spec_stepped(self.scheme, &self.spec, &self.config, stepper)
+    }
+}
+
+/// K independent ORAM systems over a partitioned address space.
+///
+/// Constructed from a sharded [`WorkloadSpec`] (`shard:<K>:<router>:<inner>`,
+/// optionally wrapped in `open:`); derives one [`SystemConfig`] per shard
+/// (protected space, request budget and protocol seed all split
+/// deterministically) and runs each shard through the ordinary
+/// single-system loop.
+#[derive(Debug, Clone)]
+pub struct ShardedSystem {
+    scheme: Scheme,
+    /// The full user-facing spec — every shard's metrics carry this label.
+    spec: WorkloadSpec,
+    shard_spec: ShardSpec,
+    router: ShardRouter,
+    shard_configs: Vec<SystemConfig>,
+    /// Per-shard serving description: the global arrival processes thinned
+    /// by 1/K (each shard sees its slice of the offered load). `None` for
+    /// closed-loop specs.
+    open: Option<OpenLoopSpec>,
+    /// Stream footprint hint of the *global* run; every shard rebuilds the
+    /// identical global stream from this and filters it.
+    global_stream_hint: u64,
+    /// Stream seed of the *global* run (see `global_stream_hint`).
+    global_stream_seed: u64,
+    prefetch_length: u32,
+}
+
+impl ShardedSystem {
+    /// Builds the sharded system implied by a sharded workload spec.
+    ///
+    /// The router is constructed from a probe build of the inner stream (it
+    /// only needs the footprint and tenant partitions, which are properties
+    /// of the spec, not of the access sequence), per-shard request budgets
+    /// split the global budget conservatively (sums are exact), and
+    /// per-shard protocol seeds come from SplitMix64 expansion of the
+    /// global seed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-sharded specs, invalid shard shapes (see
+    /// [`ShardSpec::validate`]) and router builds the inner stream cannot
+    /// support (e.g. a footprint with fewer cache lines than shards).
+    pub fn new(scheme: Scheme, spec: &WorkloadSpec, config: &SystemConfig) -> OramResult<Self> {
+        let shard_spec = spec
+            .sharded()
+            .ok_or_else(|| OramError::InvalidParams {
+                reason: format!("workload spec '{spec}' is not sharded"),
+            })?
+            .clone();
+        spec.validate()?;
+        let probe = shard_spec
+            .inner
+            .build(config.stream_footprint_hint(), config.stream_seed())?;
+        let router = ShardRouter::new(shard_spec.router, shard_spec.shards, probe.as_ref())?;
+        drop(probe);
+
+        let k = u64::from(shard_spec.shards);
+        let mut seeds = SplitMix64::new(config.seed);
+        let shard_configs = (0..shard_spec.shards)
+            .map(|i| {
+                let mut c = *config;
+                // A shard's protected space is its slice of the global one,
+                // but never smaller than the footprint the router sends it
+                // (rounded up to whole cache lines so the line count stays
+                // exact).
+                let fp = router.shard_footprint_bytes(i);
+                c.protected_bytes = (config.protected_bytes / k).max(fp).div_ceil(64) * 64;
+                // Split the request budget so the totals conserve exactly:
+                // shard i gets floor(n/K) plus one of the n mod K leftovers.
+                let i = u64::from(i);
+                c.measured_requests =
+                    config.measured_requests / k + u64::from(i < config.measured_requests % k);
+                c.warmup_requests =
+                    config.warmup_requests / k + u64::from(i < config.warmup_requests % k);
+                c.seed = seeds.next_u64();
+                c
+            })
+            .collect();
+
+        // An open-loop wrapper offers the global rate to the whole system;
+        // each shard serves its 1/K slice of it. Thinning a Poisson process
+        // is exact; the bursty/diurnal processes keep their time structure
+        // and scale their rates (see `ArrivalSpec::scaled`).
+        let open = spec.open_loop().map(|o| OpenLoopSpec {
+            arrivals: o
+                .arrivals
+                .iter()
+                .map(|a| a.scaled(1.0 / k as f64))
+                .collect(),
+            inner: shard_spec.inner.clone(),
+        });
+
+        let prefetch_length = if scheme.uses_prefetch() {
+            config
+                .prefetch_override
+                .unwrap_or_else(|| spec.default_prefetch_length())
+                .max(1)
+        } else {
+            1
+        };
+
+        Ok(ShardedSystem {
+            scheme,
+            spec: spec.clone(),
+            shard_spec,
+            router,
+            shard_configs,
+            open,
+            global_stream_hint: config.stream_footprint_hint(),
+            global_stream_seed: config.stream_seed(),
+            prefetch_length,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shard_spec.shards
+    }
+
+    /// The scheme every shard runs.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The router partitioning the address space.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The derived per-shard system configuration.
+    pub fn shard_config(&self, shard: u32) -> &SystemConfig {
+        &self.shard_configs[shard as usize]
+    }
+
+    /// Runs one shard to completion: rebuilds the global stream, filters it
+    /// to this shard through the router, and drives the single-system loop
+    /// with the shard's derived configuration. Independent of every other
+    /// shard by construction, which is what makes pooled stepping safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol-configuration and stream build errors.
+    pub fn run_shard(&self, shard: u32, stepper: &dyn Stepper) -> OramResult<RunMetrics> {
+        let config = &self.shard_configs[shard as usize];
+        let params = config.hierarchy_params()?;
+        let hierarchy_cfg = self.scheme.hierarchy_config(
+            params,
+            config.seed,
+            self.prefetch_length,
+            config.stash_capacity,
+        )?;
+        let controller_cfg = self.scheme.controller_config(config.pe_columns);
+        // Rebuild the *global* stream (global hint and seed, not the
+        // shard's): all shards filter the identical access sequence, so the
+        // union of what the shards consume is exactly the unsharded stream.
+        let inner = self
+            .shard_spec
+            .inner
+            .build(self.global_stream_hint, self.global_stream_seed)?;
+        let mut stream = ShardStream::new(inner, self.router.clone(), shard);
+        run_core(
+            self.scheme,
+            hierarchy_cfg,
+            controller_cfg,
+            &self.spec,
+            self.open.as_ref(),
+            &mut stream,
+            config,
+            self.prefetch_length,
+            stepper,
+        )
+    }
+
+    /// Merges per-shard runs (in shard-index order) into one aggregate
+    /// [`RunMetrics`], preserving per-shard and per-tenant attribution.
+    ///
+    /// Count-like fields sum; `cycles` and `stash_high_water` take the max
+    /// across shards (the makespan); sample vectors concatenate in shard
+    /// order; per-tenant metrics merge element-wise (shards tag accesses
+    /// with *global* tenant ids). The result satisfies
+    /// [`RunMetrics::shard_conservation_ok`] and
+    /// [`RunMetrics::tenant_conservation_ok`] by construction.
+    fn merge(&self, runs: Vec<RunMetrics>) -> RunMetrics {
+        debug_assert_eq!(runs.len(), self.shards() as usize);
+        let mut merged = RunMetrics {
+            scheme: self.scheme,
+            workload: self.spec.clone(),
+            oram_requests: 0,
+            workload_accesses: 0,
+            dummy_requests: 0,
+            cycles: 0,
+            latencies: Vec::new(),
+            behaviour_latency: Vec::new(),
+            stash_samples: Vec::new(),
+            stash_high_water: 0,
+            dram: DramStats::default(),
+            sync_stall_by_level: [0; 3],
+            sync_stall_cycles: 0,
+            llc_hit_rate: 0.0,
+            prefetch_length: self.prefetch_length,
+            submitted_requests: 0,
+            per_tenant: Vec::new(),
+            arrivals: 0,
+            dropped_arrivals: 0,
+            queue_waits: Vec::new(),
+            per_shard: Vec::new(),
+        };
+        // LLC hit rate is a ratio, not a count: recover the aggregate by
+        // weighting each shard's rate with its access volume (falling back
+        // to a plain mean over shards when nothing completed anywhere).
+        let total_accesses: u64 = runs.iter().map(|r| r.workload_accesses).sum();
+        merged.llc_hit_rate = if total_accesses > 0 {
+            runs.iter()
+                .map(|r| r.llc_hit_rate * r.workload_accesses as f64)
+                .sum::<f64>()
+                / total_accesses as f64
+        } else {
+            runs.iter().map(|r| r.llc_hit_rate).sum::<f64>() / runs.len().max(1) as f64
+        };
+        for (i, run) in runs.into_iter().enumerate() {
+            merged.oram_requests += run.oram_requests;
+            merged.workload_accesses += run.workload_accesses;
+            merged.dummy_requests += run.dummy_requests;
+            merged.submitted_requests += run.submitted_requests;
+            merged.arrivals += run.arrivals;
+            merged.dropped_arrivals += run.dropped_arrivals;
+            merged.sync_stall_cycles += run.sync_stall_cycles;
+            for (level, stall) in run.sync_stall_by_level.iter().enumerate() {
+                merged.sync_stall_by_level[level] += stall;
+            }
+            // The shards run concurrently in the modelled hardware, so the
+            // aggregate window is the shard makespan, not the cycle sum.
+            merged.cycles = merged.cycles.max(run.cycles);
+            merged.stash_high_water = merged.stash_high_water.max(run.stash_high_water);
+            merged.dram = sum_dram(&merged.dram, &run.dram);
+            merge_tenants(&mut merged.per_tenant, &run.per_tenant);
+            let mut latency = LatencyHistogram::new();
+            for &l in &run.latencies {
+                latency.record(l);
+            }
+            merged.per_shard.push(ShardMetrics {
+                shard: i as u32,
+                oram_requests: run.oram_requests,
+                workload_accesses: run.workload_accesses,
+                dummy_requests: run.dummy_requests,
+                cycles: run.cycles,
+                submitted_requests: run.submitted_requests,
+                arrivals: run.arrivals,
+                dropped_arrivals: run.dropped_arrivals,
+                latency,
+                stash_high_water: run.stash_high_water,
+            });
+            merged.latencies.extend(run.latencies);
+            merged.behaviour_latency.extend(run.behaviour_latency);
+            merged.stash_samples.extend(run.stash_samples);
+            merged.queue_waits.extend(run.queue_waits);
+        }
+        debug_assert!(merged.shard_conservation_ok());
+        debug_assert!(merged.tenant_conservation_ok());
+        merged
+    }
+}
+
+impl SystemShape for ShardedSystem {
+    fn shard_count(&self) -> u32 {
+        self.shards()
+    }
+
+    fn run(&self, stepper: &dyn Stepper) -> OramResult<RunMetrics> {
+        ShardStepper::run(&SerialShardStepper, self, stepper)
+    }
+}
+
+/// Accumulates one field-wise DRAM sum (shards own disjoint channels, so
+/// every counter adds; the channel count is per shard and identical across
+/// shards).
+fn sum_dram(a: &DramStats, b: &DramStats) -> DramStats {
+    DramStats {
+        cycles: a.cycles + b.cycles,
+        reads: a.reads + b.reads,
+        writes: a.writes + b.writes,
+        row_hits: a.row_hits + b.row_hits,
+        row_misses: a.row_misses + b.row_misses,
+        row_conflicts: a.row_conflicts + b.row_conflicts,
+        data_bus_busy_cycles: a.data_bus_busy_cycles + b.data_bus_busy_cycles,
+        queue_occupancy_sum: a.queue_occupancy_sum + b.queue_occupancy_sum,
+        read_latency_sum: a.read_latency_sum + b.read_latency_sum,
+        channels: if a.channels == 0 {
+            b.channels
+        } else {
+            a.channels
+        },
+    }
+}
+
+/// Element-wise per-tenant merge. Shards tag accesses with global tenant
+/// ids, so every shard's vector is indexed identically (length = the inner
+/// spec's tenant count, or empty when attribution is off).
+fn merge_tenants(into: &mut Vec<TenantMetrics>, from: &[TenantMetrics]) {
+    if into.is_empty() {
+        into.extend(from.iter().cloned());
+        return;
+    }
+    debug_assert_eq!(into.len(), from.len());
+    for (t, s) in into.iter_mut().zip(from) {
+        t.submitted += s.submitted;
+        t.completed += s.completed;
+        t.workload_accesses += s.workload_accesses;
+        t.dram_ops += s.dram_ops;
+        t.dropped += s.dropped;
+        t.latency.merge(&s.latency);
+        t.queue_wait.merge(&s.queue_wait);
+    }
+}
+
+/// How the K shards of a [`ShardedSystem`] are scheduled. Implementations
+/// must be byte-identical: shards share no state, so scheduling can never
+/// change results, only wall-clock time.
+pub trait ShardStepper {
+    /// Runs every shard of `system` and returns the merged metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first (in shard order) failing shard.
+    fn run(&self, system: &ShardedSystem, stepper: &dyn Stepper) -> OramResult<RunMetrics>;
+}
+
+/// Runs shards one after another on the calling thread, in shard order.
+///
+/// This is the default used by the runner's sharded dispatch: it composes
+/// safely with outer parallelism (a [`crate::ThreadPoolExecutor`] running
+/// many sharded runs never oversubscribes cores), and byte-identity with
+/// [`PooledShardStepper`] makes the choice purely one of scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialShardStepper;
+
+impl ShardStepper for SerialShardStepper {
+    fn run(&self, system: &ShardedSystem, stepper: &dyn Stepper) -> OramResult<RunMetrics> {
+        let runs = (0..system.shards())
+            .map(|i| system.run_shard(i, stepper))
+            .collect::<OramResult<Vec<_>>>()?;
+        Ok(system.merge(runs))
+    }
+}
+
+/// Fans shards across a fixed number of OS threads using
+/// [`std::thread::scope`] — the intra-run parallelism the shards' total
+/// independence buys.
+///
+/// Workers claim shard indices from a shared atomic counter and store each
+/// result at the shard's own index, so the merge consumes results in shard
+/// order regardless of which worker finishes first — the same deterministic
+/// collection discipline as [`crate::ThreadPoolExecutor`], one level down.
+#[derive(Debug, Clone, Copy)]
+pub struct PooledShardStepper {
+    threads: usize,
+}
+
+impl PooledShardStepper {
+    /// Creates a pool with the given worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        PooledShardStepper {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool with one worker per available core.
+    ///
+    /// The worker count is the one ambient input the pool takes; it can
+    /// only change *scheduling*, never results — `tests/shard_scaling.rs`
+    /// pins byte-identical `RunMetrics` against [`SerialShardStepper`].
+    pub fn with_available_parallelism() -> Self {
+        // audit:allow(ambient-state, thread count affects scheduling only; serial-vs-pool byte-identity is pinned by tests)
+        Self::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The number of worker threads this pool will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for PooledShardStepper {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+impl ShardStepper for PooledShardStepper {
+    fn run(&self, system: &ShardedSystem, stepper: &dyn Stepper) -> OramResult<RunMetrics> {
+        let n = system.shards() as usize;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<OramResult<RunMetrics>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = system.run_shard(i as u32, stepper);
+                    // audit:allow(unwrap, a poisoned slot means a worker already panicked, which aborts the run anyway)
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        let runs = slots
+            .into_iter()
+            .map(|slot| {
+                // audit:allow(unwrap, a poisoned slot means a worker already panicked, which aborts the run anyway)
+                let run = slot.into_inner().expect("result slot poisoned");
+                run.unwrap_or_else(|| {
+                    // Unreachable: the scope joins every worker and the
+                    // counter hands each index to exactly one of them.
+                    Err(OramError::InvalidParams {
+                        reason: "shard worker dropped a run".into(),
+                    })
+                })
+            })
+            .collect::<OramResult<Vec<_>>>()?;
+        Ok(system.merge(runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::EventStepper;
+
+    fn tiny() -> SystemConfig {
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 30;
+        cfg.warmup_requests = 10;
+        cfg
+    }
+
+    fn sharded(name: &str) -> WorkloadSpec {
+        WorkloadSpec::from_name(name).unwrap()
+    }
+
+    #[test]
+    fn construction_derives_conserving_budgets_and_distinct_seeds() {
+        let spec = sharded("shard:3:hash:random");
+        let cfg = tiny();
+        let system = ShardedSystem::new(Scheme::RingOram, &spec, &cfg).unwrap();
+        assert_eq!(system.shards(), 3);
+        let measured: u64 = (0..3)
+            .map(|i| system.shard_config(i).measured_requests)
+            .sum();
+        let warmup: u64 = (0..3).map(|i| system.shard_config(i).warmup_requests).sum();
+        assert_eq!(measured, cfg.measured_requests);
+        assert_eq!(warmup, cfg.warmup_requests);
+        let seeds: Vec<u64> = (0..3).map(|i| system.shard_config(i).seed).collect();
+        assert!(seeds.windows(2).all(|w| w[0] != w[1]));
+        for i in 0..3 {
+            let c = system.shard_config(i);
+            assert_eq!(c.protected_bytes % 64, 0);
+            assert!(c.protected_bytes >= system.router().shard_footprint_bytes(i));
+        }
+    }
+
+    #[test]
+    fn non_sharded_specs_are_rejected() {
+        let err = ShardedSystem::new(
+            Scheme::RingOram,
+            &WorkloadSpec::from_name("random").unwrap(),
+            &tiny(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OramError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn merged_metrics_conserve_and_carry_the_full_label() {
+        let spec = sharded("shard:2:hash:random");
+        let m = crate::runner::run_workload_spec(Scheme::RingOram, &spec, &tiny()).unwrap();
+        assert_eq!(m.workload, spec);
+        assert_eq!(m.per_shard.len(), 2);
+        assert!(m.shard_conservation_ok());
+        assert!(m.tenant_conservation_ok());
+        assert!(m.arrival_conservation_ok());
+        assert!(m.oram_requests > 0);
+        assert_eq!(m.latencies.len() as u64, m.oram_requests);
+    }
+
+    #[test]
+    fn single_system_shape_matches_the_direct_runner() {
+        let spec = WorkloadSpec::from_name("random").unwrap();
+        let shape = SingleSystem::new(Scheme::RingOram, spec.clone(), tiny());
+        assert_eq!(shape.shard_count(), 1);
+        let via_shape = shape.run(&EventStepper).unwrap();
+        let direct = crate::runner::run_workload_spec(Scheme::RingOram, &spec, &tiny()).unwrap();
+        assert_eq!(via_shape, direct);
+    }
+
+    #[test]
+    fn pooled_stepping_is_byte_identical_to_serial() {
+        let spec = sharded("shard:2:range:mcf");
+        let system = ShardedSystem::new(Scheme::Palermo, &spec, &tiny()).unwrap();
+        let serial = ShardStepper::run(&SerialShardStepper, &system, &EventStepper).unwrap();
+        let pooled =
+            ShardStepper::run(&PooledShardStepper::new(4), &system, &EventStepper).unwrap();
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn open_loop_wrapping_thins_arrivals_across_shards() {
+        let spec = sharded("open:poisson:0.5:shard:2:hash:random");
+        let m = crate::runner::run_workload_spec(Scheme::RingOram, &spec, &tiny()).unwrap();
+        assert!(m.arrivals > 0);
+        assert_eq!(m.queue_waits.len(), m.latencies.len());
+        assert!(m.shard_conservation_ok());
+        assert!(m.arrival_conservation_ok());
+    }
+
+    #[test]
+    fn pool_constructors_clamp_and_report_threads() {
+        assert_eq!(PooledShardStepper::new(0).threads(), 1);
+        assert!(PooledShardStepper::with_available_parallelism().threads() >= 1);
+        assert!(PooledShardStepper::default().threads() >= 1);
+    }
+}

@@ -160,6 +160,40 @@ impl ArrivalSpec {
         }
     }
 
+    /// The same process with its rate(s) scaled by `factor`, durations and
+    /// period unchanged. The sharded system uses this to split one offered
+    /// load across `K` shards (factor `1/K`): thinning a Poisson process is
+    /// exact; for bursty and diurnal processes scaling the rate while
+    /// keeping the on/off and period structure is the documented
+    /// approximation (the per-shard burst *timing* stays in phase with the
+    /// global process, only the intensity is divided).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> ArrivalSpec {
+        match self {
+            ArrivalSpec::Poisson { rate_per_kcycle } => ArrivalSpec::Poisson {
+                rate_per_kcycle: rate_per_kcycle * factor,
+            },
+            ArrivalSpec::Bursty {
+                rate_per_kcycle,
+                mean_on_cycles,
+                mean_off_cycles,
+            } => ArrivalSpec::Bursty {
+                rate_per_kcycle: rate_per_kcycle * factor,
+                mean_on_cycles,
+                mean_off_cycles,
+            },
+            ArrivalSpec::Diurnal {
+                base_per_kcycle,
+                peak_per_kcycle,
+                period_cycles,
+            } => ArrivalSpec::Diurnal {
+                base_per_kcycle: base_per_kcycle * factor,
+                peak_per_kcycle: peak_per_kcycle * factor,
+                period_cycles,
+            },
+        }
+    }
+
     /// Renders this process's token of the spec-name grammar
     /// (`poisson:<rate>`, `bursty:<rate>:<on>:<off>`,
     /// `diurnal:<base>:<peak>:<period>`).
@@ -457,6 +491,47 @@ mod tests {
             period_cycles: 1_000_000,
         };
         assert!((d.offered_rate_per_kcycle() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_divides_rates_but_keeps_the_time_structure() {
+        let p = ArrivalSpec::Poisson {
+            rate_per_kcycle: 0.8,
+        };
+        assert_eq!(p.scaled(0.25).offered_rate_per_kcycle(), 0.2);
+        let b = ArrivalSpec::Bursty {
+            rate_per_kcycle: 2.0,
+            mean_on_cycles: 50_000,
+            mean_off_cycles: 150_000,
+        };
+        match b.scaled(0.5) {
+            ArrivalSpec::Bursty {
+                rate_per_kcycle,
+                mean_on_cycles,
+                mean_off_cycles,
+            } => {
+                assert_eq!(rate_per_kcycle, 1.0);
+                assert_eq!((mean_on_cycles, mean_off_cycles), (50_000, 150_000));
+            }
+            other => panic!("scaling changed the kind: {other:?}"),
+        }
+        let d = ArrivalSpec::Diurnal {
+            base_per_kcycle: 0.2,
+            peak_per_kcycle: 1.4,
+            period_cycles: 1_000_000,
+        };
+        match d.scaled(0.5) {
+            ArrivalSpec::Diurnal {
+                base_per_kcycle,
+                peak_per_kcycle,
+                period_cycles,
+            } => {
+                assert_eq!((base_per_kcycle, peak_per_kcycle), (0.1, 0.7));
+                assert_eq!(period_cycles, 1_000_000);
+            }
+            other => panic!("scaling changed the kind: {other:?}"),
+        }
+        assert!(d.scaled(0.5).validate().is_ok());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! simulator can attribute per-tenant QoS metrics. Open-loop serving specs
 //! ([`arrival`]) wrap any of these with deterministic arrival processes
 //! (Poisson / bursty / diurnal, rates in requests per kilocycle) so the
-//! simulator can decouple request arrival from request completion.
+//! simulator can decouple request arrival from request completion. Sharded
+//! specs ([`shard`]) partition a closed-loop workload's address space
+//! across K independent ORAM shards with pluggable routing.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +37,7 @@ pub mod graph;
 pub mod llc;
 pub mod mix;
 pub mod replay;
+pub mod shard;
 pub mod spec;
 pub mod trace;
 pub mod workload;
@@ -48,6 +51,7 @@ pub use mix::{
     TenantSelection, TenantSpec,
 };
 pub use replay::TraceReplay;
+pub use shard::{ShardRouter, ShardRouterKind, ShardSpec, ShardStream};
 pub use spec::{ReplaySpec, WorkloadSpec};
 pub use trace::{AccessStream, TaggedEntry, TraceEntry, TraceProfile};
 pub use workload::Workload;

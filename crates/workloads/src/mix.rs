@@ -121,10 +121,13 @@ impl MixSpec {
             }
             if matches!(
                 t.workload,
-                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_)
+                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_) | WorkloadSpec::Sharded(_)
             ) {
                 return Err(OramError::InvalidParams {
-                    reason: format!("tenant {i} is itself a mix; mixes cannot nest"),
+                    reason: format!(
+                        "tenant {i} is itself a mix or sharded spec; mixes cannot \
+nest and sharding wraps a mix, never the other way around"
+                    ),
                 });
             }
             if matches!(t.workload, WorkloadSpec::OpenLoop(_)) {
@@ -321,6 +324,10 @@ impl AccessStream for MixStream {
     fn footprint_bytes(&self) -> u64 {
         self.total_footprint
     }
+
+    fn tenant_partition(&self, i: usize) -> Option<(u64, u64)> {
+        self.tenants.get(i).map(|t| (t.base, t.footprint))
+    }
 }
 
 /// A tenant activity window, in mix access indices: the tenant serves
@@ -448,12 +455,15 @@ impl PhasedMixSpec {
             }
             if matches!(
                 t.workload,
-                WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_) | WorkloadSpec::OpenLoop(_)
+                WorkloadSpec::Mix(_)
+                    | WorkloadSpec::PhasedMix(_)
+                    | WorkloadSpec::OpenLoop(_)
+                    | WorkloadSpec::Sharded(_)
             ) {
                 return Err(OramError::InvalidParams {
                     reason: format!(
-                        "phased tenant {i} is itself a mix or open-loop spec; \
-mixes cannot nest"
+                        "phased tenant {i} is itself a mix, sharded, or open-loop \
+spec; mixes cannot nest"
                     ),
                 });
             }
@@ -589,6 +599,10 @@ impl AccessStream for PhasedMixStream {
 
     fn footprint_bytes(&self) -> u64 {
         self.total_footprint
+    }
+
+    fn tenant_partition(&self, i: usize) -> Option<(u64, u64)> {
+        self.tenants.get(i).map(|t| (t.base, t.footprint))
     }
 }
 

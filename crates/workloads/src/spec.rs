@@ -13,6 +13,9 @@
 //!   [`crate::mix`]);
 //! * [`WorkloadSpec::PhasedMix`] — a mix whose tenants arrive and depart
 //!   over the run via `[start, end)` activity windows in access indices;
+//! * [`WorkloadSpec::Sharded`] — a closed-loop inner workload whose
+//!   address space is partitioned across K independent ORAM shards by a
+//!   pluggable router (see [`crate::shard`]);
 //! * [`WorkloadSpec::OpenLoop`] — any of the above wrapped with open-loop
 //!   arrival processes placing request arrivals on the simulated clock
 //!   (see [`crate::arrival`]).
@@ -32,6 +35,9 @@
 //! open:poisson:0.8:mcf               open-loop Poisson arrivals (req/kcycle)
 //! open:poisson:0.5+bursty:2:5e4:15e4 is NOT valid — durations are plain
 //!                                    integers: open:bursty:2:50000:150000:llm
+//! shard:4:hash:mcf                   4 shards, Feistel-hash routed
+//! shard:2:tenant:mix:rr:redis+llm    tenant-affine: tenant t on shard t%2
+//! open:poisson:0.8:shard:4:range:mcf open-loop arrivals over a sharded run
 //! ```
 //!
 //! A phased tenant is `child[*weight][@start..end]`: the window suffix is
@@ -46,6 +52,7 @@
 use crate::arrival::OpenLoopSpec;
 use crate::mix::{MixSpec, PhaseWindow, PhasedMixSpec, TenantSelection};
 use crate::replay::TraceReplay;
+use crate::shard::{ShardRouterKind, ShardSpec};
 use crate::trace::AccessStream;
 use crate::workload::Workload;
 use palermo_oram::error::{OramError, OramResult};
@@ -105,6 +112,8 @@ pub enum WorkloadSpec {
     Mix(MixSpec),
     /// A multi-tenant mix with tenant arrival/departure windows.
     PhasedMix(PhasedMixSpec),
+    /// A closed-loop inner workload partitioned across K ORAM shards.
+    Sharded(ShardSpec),
     /// An inner workload wrapped with open-loop arrival processes.
     OpenLoop(OpenLoopSpec),
 }
@@ -141,6 +150,7 @@ impl WorkloadSpec {
                     .collect();
                 format!("mix:phase:{}", tenants.join("+"))
             }
+            WorkloadSpec::Sharded(s) => s.name(),
             WorkloadSpec::OpenLoop(o) => {
                 format!("open:{}:{}", o.arrivals_name(), o.inner.name())
             }
@@ -187,6 +197,20 @@ impl WorkloadSpec {
             mix.validate().ok()?;
             return Some(WorkloadSpec::Mix(mix));
         }
+        if let Some(rest) = name.strip_prefix("shard:") {
+            let (k_str, rest) = rest.split_once(':')?;
+            let shards: u32 = k_str.parse().ok()?;
+            // Canonical names render K in plain decimal; reject leading
+            // zeros (and `+K`) so parsing stays a strict inverse of `name`.
+            if k_str != shards.to_string() {
+                return None;
+            }
+            let (router, inner) = rest.split_once(':')?;
+            let router = ShardRouterKind::from_name(router)?;
+            let spec = ShardSpec::new(shards, router, WorkloadSpec::from_name(inner)?);
+            spec.validate().ok()?;
+            return Some(WorkloadSpec::Sharded(spec));
+        }
         if let Some(rest) = name.strip_prefix("open:") {
             return crate::arrival::parse_open(rest).map(WorkloadSpec::OpenLoop);
         }
@@ -211,6 +235,21 @@ impl WorkloadSpec {
         }
     }
 
+    /// The sharding description, if this spec has one — looking through an
+    /// open-loop wrapper (`open:…:shard:…`), the one composition the
+    /// grammar permits. The simulator uses this to dispatch the run to the
+    /// sharded system shape.
+    pub fn sharded(&self) -> Option<&ShardSpec> {
+        match self {
+            WorkloadSpec::Sharded(s) => Some(s),
+            WorkloadSpec::OpenLoop(o) => match o.inner.as_ref() {
+                WorkloadSpec::Sharded(s) => Some(s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// Number of tenants a stream built from this spec multiplexes
     /// (single-tenant specs — Table II workloads and trace replays — are 1).
     /// Matches [`crate::trace::AccessStream::tenant_count`] of the built
@@ -220,6 +259,7 @@ impl WorkloadSpec {
             WorkloadSpec::Table2(_) | WorkloadSpec::TraceReplay(_) => 1,
             WorkloadSpec::Mix(m) => m.tenants.len(),
             WorkloadSpec::PhasedMix(m) => m.tenants.len(),
+            WorkloadSpec::Sharded(s) => s.inner.tenant_count(),
             WorkloadSpec::OpenLoop(o) => o.inner.tenant_count(),
         }
     }
@@ -232,6 +272,7 @@ impl WorkloadSpec {
             WorkloadSpec::Table2(_) | WorkloadSpec::TraceReplay(_) => (i == 0).then(|| self.name()),
             WorkloadSpec::Mix(m) => m.tenants.get(i).map(|t| t.workload.name()),
             WorkloadSpec::PhasedMix(m) => m.tenants.get(i).map(|t| t.workload.name()),
+            WorkloadSpec::Sharded(s) => s.inner.tenant_workload_name(i),
             WorkloadSpec::OpenLoop(o) => o.inner.tenant_workload_name(i),
         }
     }
@@ -248,6 +289,7 @@ impl WorkloadSpec {
             WorkloadSpec::TraceReplay(r) => r.validate(),
             WorkloadSpec::Mix(m) => m.validate(),
             WorkloadSpec::PhasedMix(m) => m.validate(),
+            WorkloadSpec::Sharded(s) => s.validate(),
             WorkloadSpec::OpenLoop(o) => o.validate(),
         }
     }
@@ -262,6 +304,10 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Table2(w) => w.default_prefetch_length(),
             WorkloadSpec::TraceReplay(_) | WorkloadSpec::Mix(_) | WorkloadSpec::PhasedMix(_) => 1,
+            // Sharding remaps addresses but hash routing is the only
+            // locality-destroying policy; keep the inner's calibration and
+            // let callers override per run as they already can.
+            WorkloadSpec::Sharded(s) => s.inner.default_prefetch_length(),
             // The arrival wrapper does not change access locality.
             WorkloadSpec::OpenLoop(o) => o.inner.default_prefetch_length(),
         }
@@ -292,6 +338,14 @@ impl WorkloadSpec {
                 footprint_hint,
                 seed,
             )?)),
+            // A sharded spec has no single-stream form: the simulator
+            // builds one `ShardStream` per shard and drives each against
+            // its own ORAM instance.
+            WorkloadSpec::Sharded(_) => Err(OramError::InvalidParams {
+                reason: "sharded specs build one stream per shard; run them through \
+                         the simulator's sharded system, not a single stream"
+                    .into(),
+            }),
             // The arrival processes are the simulator's job (they live on
             // the simulated clock, not in the access stream); building an
             // open-loop spec yields the inner stream.
@@ -451,9 +505,93 @@ mod tests {
             "open:poisson:1+poisson:2:mix:phase:redis+llm",
             // arity mismatch: three processes, two tenants
             "open:poisson:1+poisson:2+poisson:3:mix:rr:redis+llm",
+            "shard:",
+            "shard:2",
+            "shard:2:hash",
+            "shard:2:hash:",                   // no inner spec
+            "shard:0:hash:mcf",                // zero shards
+            "shard:65:hash:mcf",               // above MAX_SHARDS
+            "shard:01:hash:mcf",               // non-canonical K rendering
+            "shard:+2:hash:mcf",               // non-canonical K rendering
+            "shard:2:nope:mcf",                // unknown router
+            "shard:2:hash:nope",               // unknown inner
+            "shard:2:tenant:mcf",              // tenant-affine over one tenant
+            "shard:2:hash:shard:2:hash:mcf",   // sharding cannot nest
+            "shard:2:hash:open:poisson:1:mcf", // open-loop goes outside
         ] {
             assert_eq!(WorkloadSpec::from_name(bad), None, "{bad}");
         }
+    }
+
+    #[test]
+    fn sharded_names_round_trip() {
+        use crate::shard::{ShardRouterKind, ShardSpec};
+        let specs = [
+            WorkloadSpec::Sharded(ShardSpec::new(
+                4,
+                ShardRouterKind::Hash,
+                Workload::Mcf.into(),
+            )),
+            WorkloadSpec::Sharded(ShardSpec::new(
+                1,
+                ShardRouterKind::Range,
+                WorkloadSpec::replay("a.trace"),
+            )),
+            WorkloadSpec::Sharded(ShardSpec::new(
+                2,
+                ShardRouterKind::TenantAffine,
+                WorkloadSpec::Mix(
+                    MixSpec::round_robin()
+                        .tenant(Workload::Redis.into(), 2)
+                        .tenant(Workload::Llm.into(), 1),
+                ),
+            )),
+        ];
+        for spec in specs {
+            let name = spec.name();
+            assert!(!name.contains(','), "{name}");
+            assert_eq!(WorkloadSpec::from_name(&name), Some(spec.clone()), "{name}");
+            assert_eq!(format!("{spec}"), name);
+        }
+        // The one permitted composition: open-loop over sharded.
+        let open_over_shard = WorkloadSpec::from_name("open:poisson:0.5:shard:4:hash:mcf").unwrap();
+        assert_eq!(open_over_shard.name(), "open:poisson:0.5:shard:4:hash:mcf");
+        assert!(open_over_shard.sharded().is_some());
+        assert_eq!(open_over_shard.sharded().unwrap().shards, 4);
+    }
+
+    #[test]
+    fn sharded_specs_delegate_to_the_inner() {
+        use crate::shard::{ShardRouterKind, ShardSpec};
+        let spec = WorkloadSpec::Sharded(ShardSpec::new(
+            2,
+            ShardRouterKind::TenantAffine,
+            WorkloadSpec::Mix(
+                MixSpec::round_robin()
+                    .tenant(Workload::Redis.into(), 2)
+                    .tenant(Workload::Llm.into(), 1),
+            ),
+        ));
+        assert_eq!(spec.name(), "shard:2:tenant:mix:rr:redis*2+llm");
+        assert_eq!(spec.tenant_count(), 2);
+        assert_eq!(spec.tenant_workload_name(0).as_deref(), Some("redis"));
+        assert_eq!(spec.tenant_workload_name(2), None);
+        assert_eq!(spec.as_table2(), None);
+        assert!(spec.open_loop().is_none());
+        assert!(spec.sharded().is_some());
+        assert_eq!(spec.default_prefetch_length(), 1);
+        let single = WorkloadSpec::Sharded(ShardSpec::new(
+            4,
+            ShardRouterKind::Hash,
+            Workload::Mcf.into(),
+        ));
+        assert_eq!(
+            single.default_prefetch_length(),
+            Workload::Mcf.default_prefetch_length()
+        );
+        // No single-stream build: the simulator drives one stream per shard.
+        assert!(single.build(1 << 20, 7).is_err());
+        assert!(WorkloadSpec::Table2(Workload::Mcf).sharded().is_none());
     }
 
     #[test]

@@ -92,6 +92,20 @@ pub trait AccessStream {
     /// The size of the address range the stream touches, in bytes. All
     /// generated addresses are below this bound.
     fn footprint_bytes(&self) -> u64;
+
+    /// The contiguous byte partition `(base, size)` owned by tenant `i`,
+    /// for streams that assign each tenant one contiguous slice of the
+    /// footprint in ascending tenant order (the layout tenant-affine shard
+    /// routing depends on).
+    ///
+    /// The default implementation answers for single-tenant streams only —
+    /// tenant 0 owns the whole footprint — and returns `None` otherwise.
+    /// Multi-tenant streams with contiguous partitions (mixes) override it;
+    /// streams whose tenants interleave addresses leave the default, which
+    /// correctly reports that no contiguous partition exists.
+    fn tenant_partition(&self, i: usize) -> Option<(u64, u64)> {
+        (i == 0 && self.tenant_count() == 1).then(|| (0, self.footprint_bytes()))
+    }
 }
 
 /// Simple statistics over a finite prefix of a trace, used by tests and by
