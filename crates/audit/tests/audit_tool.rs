@@ -36,6 +36,10 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/demo/src/markers.rs", 16, "P01"),
     ("crates/demo/src/p01.rs", 4, "P01"), // .unwrap() in library fn
     ("crates/demo/src/p01.rs", 8, "P01"), // .expect() in library fn
+    ("crates/dram/src/profile.rs", 7, "D02"), // env-knob profile directory
+    ("crates/dram/src/profile.rs", 11, "D02"), // Instant::now() load timing
+    ("crates/dram/src/profile.rs", 15, "D02"), // SystemTime::now() load stamp
+    ("crates/dram/src/profile.rs", 19, "D02"), // available_parallelism
     ("crates/sim/src/d02.rs", 5, "D02"),  // Instant::now()
     ("crates/sim/src/d02.rs", 6, "D02"),  // SystemTime::now()
     ("crates/sim/src/d02.rs", 11, "D02"), // std::env::var
@@ -93,6 +97,7 @@ fn suppressions_and_exemptions_leave_holes_where_designed() {
     none_at("crates/demo/src/d03.rs", 18);
     none_at("crates/demo/src/d04.rs", 13);
     none_at("crates/sim/src/d02.rs", 22);
+    none_at("crates/dram/src/profile.rs", 24);
     none_at("crates/sim/src/shard_merge.rs", 28);
     // Trailing marker covers its own line; code selector `P01` works too.
     none_at("crates/demo/src/markers.rs", 24);
@@ -131,6 +136,23 @@ fn serving_subsystem_is_in_d02_scope() {
         assert!(lints::d02_in_scope(path), "{path} left the D02 scope");
     }
     assert!(!lints::d02_in_scope("crates/bench/src/lib.rs"));
+}
+
+/// Pins the D02 ambient-state scope over the hardware-profile layer:
+/// `dram::profile` does file I/O at load time (allowed — D02 has no file
+/// lint), but environment and wall-clock reads in it must stay flagged so
+/// profile parsing can never grow a hidden knob that bypasses the
+/// determinism contract.
+#[test]
+fn dram_profile_layer_is_in_d02_scope() {
+    for path in [
+        "crates/dram/src/profile.rs",
+        "crates/dram/src/config.rs",
+        "crates/controller/src/area_power.rs",
+    ] {
+        assert!(lints::d02_in_scope(path), "{path} left the D02 scope");
+    }
+    assert!(!lints::d02_in_scope("crates/analysis/src/report.rs"));
 }
 
 /// Pins the lint scope over the sharding module: the router, the sharded

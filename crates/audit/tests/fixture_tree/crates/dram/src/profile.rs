@@ -1,0 +1,25 @@
+//! D02 fixture: ambient-state reads inside the hardware-profile layer.
+//! Profile loading is deliberate load-time file I/O (never flagged); these
+//! shortcuts reach for the environment and the wall clock instead.
+use std::time::{Instant, SystemTime};
+
+pub fn profile_dir() -> Option<String> {
+    std::env::var("PALERMO_PROFILE_DIR").ok()
+}
+
+pub fn load_micros() -> u128 {
+    Instant::now().elapsed().as_micros()
+}
+
+pub fn stamp_secs() -> u64 {
+    SystemTime::now().elapsed().map_or(0, |d| d.as_secs())
+}
+
+pub fn parse_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+pub fn justified_label() -> Option<String> {
+    // audit:allow(ambient-state, report-only label that never reaches RunMetrics)
+    std::env::var_os("PALERMO_PROFILE_LABEL").map(|v| v.to_string_lossy().into_owned())
+}

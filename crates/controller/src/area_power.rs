@@ -10,6 +10,13 @@
 //! table and its scaling trends (more PE columns, larger caches) can be
 //! regenerated.
 
+use palermo_dram::{DramConfig, DramStats, EnergyCoefficients};
+
+/// The nominal memory clock frequency the timing parameters are expressed
+/// in, hertz. Shared with the simulator's cycle clock so background energy
+/// integrates over the same wall-clock window the latency numbers use.
+pub const MEMORY_CLOCK_HZ: f64 = 1.6e9;
+
 /// Memory/geometry provisioning of the controller (Table III defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ControllerProvisioning {
@@ -126,6 +133,70 @@ pub fn estimate(provisioning: &ControllerProvisioning) -> AreaPowerEstimate {
     AreaPowerEstimate { components }
 }
 
+/// Memory energy of a finished run, decomposed by source. All values are
+/// joules; the breakdown is pure accounting over the [`DramStats`]
+/// counters a run already collects, so it is byte-identical wherever the
+/// counters are (both executors, both steppers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Row activation (ACT + implied precharge) energy.
+    pub activate_j: f64,
+    /// Read burst energy.
+    pub read_j: f64,
+    /// Write burst energy.
+    pub write_j: f64,
+    /// Background (standby + refresh) energy over the measured window.
+    pub background_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Dynamic (activity-proportional) energy in joules.
+    pub fn dynamic_j(&self) -> f64 {
+        self.activate_j + self.read_j + self.write_j
+    }
+
+    /// Total memory energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j() + self.background_j
+    }
+
+    /// Total energy divided over `accesses` DRAM bursts, joules per
+    /// access; zero when the run performed no accesses.
+    pub fn per_access_j(&self, accesses: u64) -> f64 {
+        if accesses == 0 {
+            0.0
+        } else {
+            self.total_j() / accesses as f64
+        }
+    }
+}
+
+/// Converts the DRAM counters of a finished run into joules using a
+/// profile's [`EnergyCoefficients`].
+///
+/// Activations are `row_misses + row_conflicts` (every non-hit opens a
+/// row); read/write bursts are the access counts; background power
+/// integrates `banks x mW/bank` over the measured window
+/// (`cycles / MEMORY_CLOCK_HZ`). The per-channel bank count comes from
+/// `config`, while `stats.channels` scales to however many channels the
+/// run (or merged shard set) actually drove.
+pub fn memory_energy(
+    energy: &EnergyCoefficients,
+    config: &DramConfig,
+    stats: &DramStats,
+) -> EnergyBreakdown {
+    const PJ: f64 = 1e-12;
+    let activations = (stats.row_misses + stats.row_conflicts) as f64;
+    let banks = stats.channels as f64 * config.banks_per_channel() as f64;
+    let seconds = stats.cycles as f64 / MEMORY_CLOCK_HZ;
+    EnergyBreakdown {
+        activate_j: activations * energy.pj_per_act * PJ,
+        read_j: stats.reads as f64 * energy.pj_per_rd_burst * PJ,
+        write_j: stats.writes as f64 * energy.pj_per_wr_burst * PJ,
+        background_j: banks * energy.background_mw_per_bank * 1e-3 * seconds,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +236,75 @@ mod tests {
         });
         assert!(large.total_area_mm2() > small.total_area_mm2());
         assert!(large.total_power_w() > small.total_power_w());
+    }
+
+    #[test]
+    fn zero_stats_cost_zero_energy() {
+        let breakdown = memory_energy(
+            &EnergyCoefficients::default(),
+            &DramConfig::ddr4_3200_quad_channel(),
+            &DramStats::default(),
+        );
+        assert_eq!(breakdown.total_j(), 0.0);
+        assert_eq!(breakdown.per_access_j(0), 0.0);
+    }
+
+    #[test]
+    fn energy_accounting_is_exact_on_round_numbers() {
+        let energy = EnergyCoefficients {
+            pj_per_act: 1000.0,
+            pj_per_rd_burst: 2000.0,
+            pj_per_wr_burst: 3000.0,
+            background_mw_per_bank: 10.0,
+        };
+        let config = DramConfig::ddr4_3200_quad_channel();
+        let stats = DramStats {
+            cycles: 1_600_000, // 1 ms at 1.6 GHz
+            reads: 100,
+            writes: 50,
+            row_hits: 100,
+            row_misses: 30,
+            row_conflicts: 20,
+            channels: 4,
+            ..DramStats::default()
+        };
+        let breakdown = memory_energy(&energy, &config, &stats);
+        // 50 activations x 1000 pJ = 50 nJ.
+        assert!((breakdown.activate_j - 50e-9).abs() < 1e-15);
+        // 100 reads x 2000 pJ = 200 nJ; 50 writes x 3000 pJ = 150 nJ.
+        assert!((breakdown.read_j - 200e-9).abs() < 1e-15);
+        assert!((breakdown.write_j - 150e-9).abs() < 1e-15);
+        // 4 channels x 16 banks x 10 mW x 1 ms = 640 uJ.
+        assert!((breakdown.background_j - 640e-6).abs() < 1e-12);
+        assert!((breakdown.dynamic_j() - 400e-9).abs() < 1e-14);
+        assert!((breakdown.per_access_j(150) - breakdown.total_j() / 150.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn lower_coefficients_cost_less_per_access() {
+        let config = DramConfig::ddr4_3200_quad_channel();
+        let stats = DramStats {
+            cycles: 10_000,
+            reads: 500,
+            writes: 500,
+            row_misses: 300,
+            row_conflicts: 100,
+            channels: 4,
+            ..DramStats::default()
+        };
+        let ddr4 = memory_energy(&EnergyCoefficients::ddr4_3200(), &config, &stats);
+        let cheap = memory_energy(
+            &EnergyCoefficients {
+                pj_per_act: 650.0,
+                pj_per_rd_burst: 1900.0,
+                pj_per_wr_burst: 2000.0,
+                background_mw_per_bank: 1.8,
+            },
+            &config,
+            &stats,
+        );
+        assert!(cheap.total_j() < ddr4.total_j());
+        assert!(cheap.per_access_j(1000) < ddr4.per_access_j(1000));
     }
 
     #[test]

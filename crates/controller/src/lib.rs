@@ -18,6 +18,9 @@ pub mod area_power;
 pub mod engine;
 pub mod stats;
 
-pub use area_power::{estimate, AreaPowerEstimate, ControllerProvisioning};
+pub use area_power::{
+    estimate, memory_energy, AreaPowerEstimate, ControllerProvisioning, EnergyBreakdown,
+    MEMORY_CLOCK_HZ,
+};
 pub use engine::{ControllerConfig, FinishedRequest, OramController, SchedulePolicy};
 pub use stats::ControllerStats;

@@ -1,0 +1,20 @@
+//! Regenerates the checked-in `profiles/` directory from the built-in
+//! profiles, so the files can never drift from `to_file_string()`:
+//!
+//! ```text
+//! cargo run -p palermo-dram --example gen_profiles
+//! ```
+
+use palermo_dram::HardwareProfile;
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("profiles");
+    for profile in HardwareProfile::builtins() {
+        let path = dir.join(format!("{}.profile", profile.name));
+        std::fs::write(&path, profile.to_file_string())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}

@@ -7,6 +7,69 @@
 //! of the co-design share a clock domain in the simulator exactly as they do
 //! in the paper's evaluation.
 
+use std::fmt;
+
+/// A structural inconsistency in a [`DramConfig`].
+///
+/// Every reject names the offending field(s) so profile files
+/// ([`crate::profile`]) can report precisely what to fix, and so callers
+/// can match on the failure class instead of scraping strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramConfigError {
+    /// An interleaving field must be a non-zero power of two
+    /// (the address mapper decomposes addresses by bit slicing).
+    NotPowerOfTwo {
+        /// Field name.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A count or timing field that must be non-zero was zero (a zero
+    /// queue capacity can accept nothing; a zero burst length would make
+    /// bandwidth infinite and scheduling degenerate).
+    ZeroField {
+        /// Field name.
+        field: &'static str,
+    },
+    /// The row buffer must hold at least one burst.
+    RowSmallerThanBurst {
+        /// Configured row size in bytes.
+        row_bytes: u64,
+        /// Configured burst size in bytes.
+        burst_bytes: u64,
+    },
+    /// A timing cross-constraint is violated (e.g. `t_faw < 4 * t_rrd_s`
+    /// would make the four-activate window weaker than plain
+    /// activate-to-activate spacing — no real part is specified that way).
+    TimingInconsistent {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DramConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramConfigError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a non-zero power of two, got {value}")
+            }
+            DramConfigError::ZeroField { field } => write!(f, "{field} must be non-zero"),
+            DramConfigError::RowSmallerThanBurst {
+                row_bytes,
+                burst_bytes,
+            } => write!(
+                f,
+                "row_bytes ({row_bytes}) must be at least burst_bytes ({burst_bytes})"
+            ),
+            DramConfigError::TimingInconsistent { reason } => {
+                write!(f, "inconsistent timing: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramConfigError {}
+
 /// Organisation and timing of the modelled DRAM subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
@@ -118,9 +181,24 @@ impl DramConfig {
         self.peak_bytes_per_cycle() * 1.6
     }
 
-    /// Validates internal consistency (non-zero geometry, power-of-two
-    /// interleaving fields).
-    pub fn validate(&self) -> Result<(), String> {
+    /// The DRAM organisation a hardware profile describes (see
+    /// [`crate::profile::HardwareProfile`]). The profile's embedded config
+    /// is already validated at parse time, so this is a plain projection.
+    pub fn from_profile(profile: &crate::profile::HardwareProfile) -> Self {
+        profile.dram
+    }
+
+    /// Validates internal consistency: non-zero geometry, power-of-two
+    /// interleaving fields, and timing cross-constraints (a four-activate
+    /// window weaker than plain activate spacing, a row cycle shorter than
+    /// open-plus-precharge, or long column/activate delays below their
+    /// short variants are all nonsense no real part is specified with).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DramConfigError`] found, checking shape before
+    /// timing.
+    pub fn validate(&self) -> Result<(), DramConfigError> {
         let pow2 = [
             ("channels", u64::from(self.channels)),
             ("bank_groups", u64::from(self.bank_groups)),
@@ -129,21 +207,73 @@ impl DramConfig {
             ("row_bytes", self.row_bytes),
             ("burst_bytes", self.burst_bytes),
         ];
-        for (name, value) in pow2 {
+        for (field, value) in pow2 {
             if value == 0 || !value.is_power_of_two() {
-                return Err(format!(
-                    "{name} must be a non-zero power of two, got {value}"
-                ));
+                return Err(DramConfigError::NotPowerOfTwo { field, value });
             }
         }
-        if self.queue_capacity == 0 {
-            return Err("queue_capacity must be non-zero".into());
-        }
-        if self.t_bl == 0 {
-            return Err("t_bl must be non-zero".into());
+        let non_zero = [
+            ("ranks", u64::from(self.ranks)),
+            ("queue_capacity", self.queue_capacity as u64),
+            ("t_cl", self.t_cl),
+            ("t_cwl", self.t_cwl),
+            ("t_rcd", self.t_rcd),
+            ("t_rp", self.t_rp),
+            ("t_ras", self.t_ras),
+            ("t_rc", self.t_rc),
+            ("t_ccd_s", self.t_ccd_s),
+            ("t_rrd_s", self.t_rrd_s),
+            ("t_faw", self.t_faw),
+            ("t_wr", self.t_wr),
+            ("t_wtr", self.t_wtr),
+            ("t_rtp", self.t_rtp),
+            ("t_bl", self.t_bl),
+        ];
+        for (field, value) in non_zero {
+            if value == 0 {
+                return Err(DramConfigError::ZeroField { field });
+            }
         }
         if self.row_bytes < self.burst_bytes {
-            return Err("row_bytes must be at least burst_bytes".into());
+            return Err(DramConfigError::RowSmallerThanBurst {
+                row_bytes: self.row_bytes,
+                burst_bytes: self.burst_bytes,
+            });
+        }
+        let timing = [
+            (
+                self.t_faw >= 4 * self.t_rrd_s,
+                format!(
+                    "t_faw ({}) < 4 * t_rrd_s ({})",
+                    self.t_faw,
+                    4 * self.t_rrd_s
+                ),
+            ),
+            (
+                self.t_ras >= self.t_rcd,
+                format!("t_ras ({}) < t_rcd ({})", self.t_ras, self.t_rcd),
+            ),
+            (
+                self.t_rc >= self.t_ras + self.t_rp,
+                format!(
+                    "t_rc ({}) < t_ras + t_rp ({})",
+                    self.t_rc,
+                    self.t_ras + self.t_rp
+                ),
+            ),
+            (
+                self.t_ccd_l >= self.t_ccd_s,
+                format!("t_ccd_l ({}) < t_ccd_s ({})", self.t_ccd_l, self.t_ccd_s),
+            ),
+            (
+                self.t_rrd_l >= self.t_rrd_s,
+                format!("t_rrd_l ({}) < t_rrd_s ({})", self.t_rrd_l, self.t_rrd_s),
+            ),
+        ];
+        for (ok, reason) in timing {
+            if !ok {
+                return Err(DramConfigError::TimingInconsistent { reason });
+            }
         }
         Ok(())
     }
@@ -178,20 +308,135 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
+        assert_eq!(
+            DramConfig {
+                channels: 3,
+                ..DramConfig::default()
+            }
+            .validate(),
+            Err(DramConfigError::NotPowerOfTwo {
+                field: "channels",
+                value: 3
+            })
+        );
+        assert_eq!(
+            DramConfig {
+                queue_capacity: 0,
+                ..DramConfig::default()
+            }
+            .validate(),
+            Err(DramConfigError::ZeroField {
+                field: "queue_capacity"
+            })
+        );
+        assert_eq!(
+            DramConfig {
+                row_bytes: 32,
+                ..DramConfig::default()
+            }
+            .validate(),
+            Err(DramConfigError::RowSmallerThanBurst {
+                row_bytes: 32,
+                burst_bytes: 64
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_zero_geometry_and_timing() {
+        // Each reject the satellite bugfix names: zero channels, zero
+        // banks, zero queue capacity, zero burst length.
+        for cfg in [
+            DramConfig {
+                channels: 0,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                banks_per_group: 0,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                bank_groups: 0,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                queue_capacity: 0,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                burst_bytes: 0,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                t_bl: 0,
+                ..DramConfig::default()
+            },
+            DramConfig {
+                ranks: 0,
+                ..DramConfig::default()
+            },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?} should not validate");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_timing() {
         let cfg = DramConfig {
+            t_faw: 10, // < 4 * t_rrd_s = 16
+            ..DramConfig::default()
+        };
+        match cfg.validate() {
+            Err(DramConfigError::TimingInconsistent { reason }) => {
+                assert!(reason.contains("t_faw"), "{reason}");
+            }
+            other => panic!("expected TimingInconsistent, got {other:?}"),
+        }
+        let cfg = DramConfig {
+            t_rc: 50, // < t_ras + t_rp = 74
+            ..DramConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(DramConfigError::TimingInconsistent { .. })
+        ));
+        let cfg = DramConfig {
+            t_ccd_l: 2, // < t_ccd_s = 4
+            ..DramConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(DramConfigError::TimingInconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_readable_messages() {
+        let err = DramConfig {
             channels: 3,
             ..DramConfig::default()
-        };
-        assert!(cfg.validate().is_err());
-        let cfg = DramConfig {
-            queue_capacity: 0,
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "channels must be a non-zero power of two, got 3"
+        );
+        let err = DramConfig {
+            t_bl: 0,
             ..DramConfig::default()
-        };
-        assert!(cfg.validate().is_err());
-        let cfg = DramConfig {
-            row_bytes: 32,
-            ..DramConfig::default()
-        };
-        assert!(cfg.validate().is_err());
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.to_string(), "t_bl must be non-zero");
+    }
+
+    #[test]
+    fn from_profile_projects_the_embedded_config() {
+        let profile = crate::profile::HardwareProfile::ddr4_3200();
+        assert_eq!(
+            DramConfig::from_profile(&profile),
+            DramConfig::ddr4_3200_quad_channel()
+        );
     }
 }

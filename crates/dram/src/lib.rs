@@ -22,12 +22,14 @@
 pub mod address;
 pub mod channel;
 pub mod config;
+pub mod profile;
 pub mod request;
 pub mod stats;
 pub mod system;
 
 pub use channel::ChannelTickResult;
-pub use config::DramConfig;
+pub use config::{DramConfig, DramConfigError};
+pub use profile::{EnergyCoefficients, HardwareProfile, ProfileError, ProvisioningOverrides};
 pub use request::{MemCompletion, MemOpKind, MemRequest, RequestId, RowBufferResult};
 pub use stats::DramStats;
 pub use system::DramSystem;

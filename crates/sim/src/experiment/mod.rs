@@ -48,6 +48,7 @@ use crate::runner::{run_with_configs_spec, run_workload_spec, RunMetrics};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_controller::ControllerConfig;
+use palermo_dram::HardwareProfile;
 use palermo_oram::error::OramResult;
 use palermo_oram::hierarchy::HierarchyConfig;
 use palermo_workloads::{ArrivalSpec, OpenLoopSpec, Workload, WorkloadSpec};
@@ -262,9 +263,31 @@ impl Experiment {
         label: impl Into<String>,
         mutate: impl FnOnce(&mut SystemConfig),
     ) -> Self {
-        let mut cfg = self.base;
+        let mut cfg = self.base.clone();
         mutate(&mut cfg);
         self.variants.push((label.into(), cfg));
+        self
+    }
+
+    /// Adds one configuration variant per hardware profile, labelled with
+    /// the profile's name — a scheme x workload x hardware grid becomes a
+    /// one-liner:
+    ///
+    /// ```ignore
+    /// Experiment::new(config)
+    ///     .schemes([Scheme::RingOram, Scheme::Palermo])
+    ///     .workloads([Workload::Random])
+    ///     .sweep_hardware(&HardwareProfile::builtins())
+    ///     .run(&SerialExecutor)
+    /// ```
+    #[must_use]
+    pub fn sweep_hardware(mut self, profiles: &[HardwareProfile]) -> Self {
+        for profile in profiles {
+            self.variants.push((
+                profile.name.clone(),
+                self.base.clone().with_hardware(profile),
+            ));
+        }
         self
     }
 
@@ -286,7 +309,7 @@ impl Experiment {
     /// Materialises the grid into an ordered list of run specs.
     pub fn build(&self) -> Vec<RunSpec> {
         let variants: Vec<(String, SystemConfig)> = if self.variants.is_empty() {
-            vec![(String::new(), self.base)]
+            vec![(String::new(), self.base.clone())]
         } else {
             self.variants.clone()
         };
@@ -319,7 +342,7 @@ impl Experiment {
                 for (wl_spec, load) in &load_points {
                     for &scheme in &self.schemes {
                         for &pf in &prefetch {
-                            let mut config = *vcfg;
+                            let mut config = vcfg.clone();
                             if let Some(p) = pf {
                                 config.prefetch_override = Some(p);
                             }
@@ -414,6 +437,25 @@ mod tests {
     }
 
     #[test]
+    fn hardware_sweep_produces_one_labelled_variant_per_profile() {
+        let specs = Experiment::new(tiny())
+            .schemes([Scheme::RingOram, Scheme::Palermo])
+            .workloads([Workload::Random])
+            .sweep_hardware(&HardwareProfile::builtins())
+            .build();
+        assert_eq!(specs.len(), 6, "3 profiles x 2 schemes");
+        assert_eq!(specs[0].label, "RingORAM/random/ddr4-3200");
+        assert_eq!(specs[0].config.hardware, "ddr4-3200");
+        assert_eq!(
+            specs[0].config.dram,
+            palermo_dram::DramConfig::ddr4_3200_quad_channel()
+        );
+        let hbm = specs.iter().find(|s| s.config.hardware == "hbm2e").unwrap();
+        assert_eq!(hbm.config.dram.channels, 16);
+        assert_eq!(hbm.config.energy, HardwareProfile::hbm2e().energy);
+    }
+
+    #[test]
     fn load_sweep_wraps_each_workload_per_rate_point() {
         let specs = Experiment::new(tiny())
             .schemes([Scheme::RingOram, Scheme::Palermo])
@@ -459,7 +501,7 @@ mod tests {
     #[test]
     fn spec_executes_like_run_workload() {
         let cfg = tiny();
-        let spec = RunSpec::new(Scheme::Palermo, Workload::Random, cfg);
+        let spec = RunSpec::new(Scheme::Palermo, Workload::Random, cfg.clone());
         let direct = crate::runner::run_workload(Scheme::Palermo, Workload::Random, &cfg).unwrap();
         let via_spec = spec.execute().unwrap();
         assert_eq!(via_spec.cycles, direct.cycles);

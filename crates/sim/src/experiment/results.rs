@@ -46,6 +46,7 @@ impl RunRecord {
                 p99_latency: t.p99_latency(),
                 dram_ops: t.dram_ops,
                 dram_share: self.metrics.tenant_dram_share(t.tenant as usize),
+                energy_j: self.metrics.tenant_energy_j(t.tenant as usize),
             })
             .collect()
     }
@@ -95,6 +96,8 @@ impl RunRecord {
             dropped_arrivals: self.metrics.dropped_arrivals,
             mean_queue_wait: self.metrics.mean_queue_wait(),
             shards: self.metrics.per_shard.len() as u32,
+            hardware: self.metrics.hardware.clone(),
+            energy_j: self.metrics.energy_j(),
         }
     }
 }
@@ -143,13 +146,20 @@ pub struct RunSummary {
     /// Shard count of a sharded run (0 for single-system runs — the
     /// per-shard rows live in the shard CSV/JSON documents).
     pub shards: u32,
+    /// Name of the hardware profile the run executed on ("ddr4-3200" for
+    /// the default; commas become `;` in CSV output, though profile names
+    /// never contain them).
+    pub hardware: String,
+    /// Total memory energy of the measured window, joules.
+    pub energy_j: f64,
 }
 
 impl RunSummary {
     /// The CSV header row matching [`RunSummary::to_csv_row`].
     pub const CSV_HEADER: &'static str = "label,scheme,workload,prefetch_length,oram_requests,\
 workload_accesses,dummy_requests,cycles,mean_latency,llc_hit_rate,stash_high_water,\
-bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wait,shards";
+bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wait,shards,\
+hardware,energy_j";
 
     /// Measured workload accesses per cycle (the end-to-end speedup metric).
     pub fn accesses_per_cycle(&self) -> f64 {
@@ -162,7 +172,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
     /// Renders one CSV data row (no trailing newline).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             sanitize_csv(&self.label),
             self.scheme,
             sanitize_csv(&self.workload.name()),
@@ -180,6 +190,8 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
             self.dropped_arrivals,
             self.mean_queue_wait,
             self.shards,
+            sanitize_csv(&self.hardware),
+            self.energy_j,
         )
     }
 
@@ -187,7 +199,7 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
     /// Returns `None` on a malformed row or an unknown scheme/workload name.
     pub fn from_csv_row(row: &str) -> Option<RunSummary> {
         let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 17 {
+        if fields.len() != 19 {
             return None;
         }
         Some(RunSummary {
@@ -208,6 +220,8 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
             dropped_arrivals: fields[14].parse().ok()?,
             mean_queue_wait: fields[15].parse().ok()?,
             shards: fields[16].parse().ok()?,
+            hardware: fields[17].to_string(),
+            energy_j: fields[18].parse().ok()?,
         })
     }
 
@@ -218,7 +232,8 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
 \"prefetch_length\":{},\"oram_requests\":{},\"workload_accesses\":{},\
 \"dummy_requests\":{},\"cycles\":{},\"mean_latency\":{},\"llc_hit_rate\":{},\
 \"stash_high_water\":{},\"bandwidth_utilization\":{},\"sync_stall_cycles\":{},\
-\"arrivals\":{},\"dropped_arrivals\":{},\"mean_queue_wait\":{},\"shards\":{}}}",
+\"arrivals\":{},\"dropped_arrivals\":{},\"mean_queue_wait\":{},\"shards\":{},\
+\"hardware\":\"{}\",\"energy_j\":{}}}",
             escape_json(&self.label),
             self.scheme,
             escape_json(&self.workload.name()),
@@ -236,6 +251,8 @@ bandwidth_utilization,sync_stall_cycles,arrivals,dropped_arrivals,mean_queue_wai
             self.dropped_arrivals,
             self.mean_queue_wait,
             self.shards,
+            escape_json(&self.hardware),
+            self.energy_j,
         )
     }
 }
@@ -275,18 +292,22 @@ pub struct TenantSummary {
     pub dram_ops: u64,
     /// The tenant's share of all tenant-attributed DRAM bursts in the run.
     pub dram_share: f64,
+    /// The tenant's share of the run's memory energy in joules,
+    /// attributed proportionally to `dram_ops` — the per-tenant bill next
+    /// to the per-tenant p99.
+    pub energy_j: f64,
 }
 
 impl TenantSummary {
     /// The CSV header row matching [`TenantSummary::to_csv_row`].
     pub const CSV_HEADER: &'static str = "label,scheme,workload,tenant,tenant_workload,\
 submitted,completed,workload_accesses,mean_latency,p50_latency,p95_latency,p99_latency,\
-dram_ops,dram_share";
+dram_ops,dram_share,energy_j";
 
     /// Renders one CSV data row (no trailing newline).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             sanitize_csv(&self.label),
             self.scheme,
             sanitize_csv(&self.workload.name()),
@@ -301,6 +322,7 @@ dram_ops,dram_share";
             self.p99_latency,
             self.dram_ops,
             self.dram_share,
+            self.energy_j,
         )
     }
 
@@ -308,7 +330,7 @@ dram_ops,dram_share";
     /// Returns `None` on a malformed row or an unknown scheme/workload name.
     pub fn from_csv_row(row: &str) -> Option<TenantSummary> {
         let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 14 {
+        if fields.len() != 15 {
             return None;
         }
         Some(TenantSummary {
@@ -326,6 +348,7 @@ dram_ops,dram_share";
             p99_latency: fields[11].parse().ok()?,
             dram_ops: fields[12].parse().ok()?,
             dram_share: fields[13].parse().ok()?,
+            energy_j: fields[14].parse().ok()?,
         })
     }
 
@@ -335,7 +358,7 @@ dram_ops,dram_share";
             "{{\"label\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\"tenant\":{},\
 \"tenant_workload\":\"{}\",\"submitted\":{},\"completed\":{},\"workload_accesses\":{},\
 \"mean_latency\":{},\"p50_latency\":{},\"p95_latency\":{},\"p99_latency\":{},\
-\"dram_ops\":{},\"dram_share\":{}}}",
+\"dram_ops\":{},\"dram_share\":{},\"energy_j\":{}}}",
             escape_json(&self.label),
             self.scheme,
             escape_json(&self.workload.name()),
@@ -350,6 +373,7 @@ dram_ops,dram_share";
             self.p99_latency,
             self.dram_ops,
             self.dram_share,
+            self.energy_j,
         )
     }
 }
@@ -503,6 +527,7 @@ fn tenant_summary_from_json_object(object: &str) -> Option<TenantSummary> {
         p99_latency: json_field(object, "p99_latency")?.parse().ok()?,
         dram_ops: json_field(object, "dram_ops")?.parse().ok()?,
         dram_share: json_field(object, "dram_share")?.parse().ok()?,
+        energy_j: json_field(object, "energy_j")?.parse().ok()?,
     })
 }
 
@@ -926,6 +951,8 @@ fn summary_from_json_object(object: &str) -> Option<RunSummary> {
         dropped_arrivals: json_field(object, "dropped_arrivals")?.parse().ok()?,
         mean_queue_wait: json_field(object, "mean_queue_wait")?.parse().ok()?,
         shards: json_field(object, "shards")?.parse().ok()?,
+        hardware: json_field(object, "hardware")?,
+        energy_j: json_field(object, "energy_j")?.parse().ok()?,
     })
 }
 
@@ -1089,6 +1116,60 @@ mod tests {
         assert_eq!(run_parsed[0].workload.name(), "shard:2:hash:random");
         let run_parsed = ResultSet::parse_json(&odd.to_json()).unwrap();
         assert_eq!(run_parsed, odd.summaries());
+    }
+
+    fn hardware_set() -> ResultSet {
+        use palermo_dram::HardwareProfile;
+        let mut cfg = SystemConfig::small_for_tests();
+        cfg.measured_requests = 20;
+        cfg.warmup_requests = 5;
+        Experiment::new(cfg)
+            .schemes([Scheme::Palermo])
+            .workloads([Workload::Random])
+            .sweep_hardware(&HardwareProfile::builtins())
+            .run(&SerialExecutor)
+            .unwrap()
+    }
+
+    #[test]
+    fn hardware_and_energy_columns_round_trip_exactly() {
+        let set = hardware_set();
+        let summaries = set.summaries();
+        assert_eq!(summaries.len(), 3, "one run per profile");
+        let names: Vec<&str> = summaries.iter().map(|s| s.hardware.as_str()).collect();
+        assert_eq!(names, ["ddr4-3200", "ddr5-6400", "hbm2e"]);
+        assert!(summaries.iter().all(|s| s.energy_j > 0.0));
+        let parsed = ResultSet::parse_csv(&set.to_csv()).unwrap();
+        assert_eq!(parsed, summaries);
+        let parsed = ResultSet::parse_json(&set.to_json()).unwrap();
+        assert_eq!(parsed, summaries);
+        // A pre-extension row (17 fields) no longer parses.
+        let legacy = set.to_csv();
+        let short_row: String = legacy
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .take(17)
+            .collect::<Vec<_>>()
+            .join(",");
+        assert!(RunSummary::from_csv_row(&short_row).is_none());
+    }
+
+    #[test]
+    fn tenant_energy_column_round_trips_and_partitions_the_total() {
+        let set = mix_set();
+        let record = &set.records()[0];
+        let summaries = set.tenant_summaries();
+        let tenant_total: f64 = summaries.iter().map(|t| t.energy_j).sum();
+        assert!(tenant_total > 0.0);
+        assert!(
+            (tenant_total - record.metrics.energy_j()).abs() <= record.metrics.energy_j() * 1e-12
+        );
+        let parsed = ResultSet::parse_tenant_csv(&set.to_tenant_csv()).unwrap();
+        assert_eq!(parsed, summaries);
+        let parsed = ResultSet::parse_tenant_json(&set.to_tenant_json()).unwrap();
+        assert_eq!(parsed, summaries);
     }
 
     #[test]

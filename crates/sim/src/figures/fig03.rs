@@ -44,7 +44,7 @@ pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig03Row>> {
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Vec<Fig03Row>> {
-    let results = Experiment::new(*config)
+    let results = Experiment::new(config.clone())
         .schemes([Scheme::RingOram])
         .workloads(
             super::DEEP_DIVE_WORKLOADS

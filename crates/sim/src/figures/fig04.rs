@@ -45,13 +45,15 @@ fn point_spec(config: &SystemConfig, prefetch_length: u32, fat_tree: bool) -> Or
         stash,
         stash * 3 / 4,
     )?;
-    Ok(RunSpec::new(Scheme::PrOram, Workload::Streaming, *config)
-        .with_custom(CustomProtocol {
-            hierarchy,
-            controller: Scheme::PrOram.controller_config(config.pe_columns),
-            prefetch_length,
-        })
-        .with_label(point_label(prefetch_length, fat_tree)))
+    Ok(
+        RunSpec::new(Scheme::PrOram, Workload::Streaming, config.clone())
+            .with_custom(CustomProtocol {
+                hierarchy,
+                controller: Scheme::PrOram.controller_config(config.pe_columns),
+                prefetch_length,
+            })
+            .with_label(point_label(prefetch_length, fat_tree)),
+    )
 }
 
 /// Runs the Fig. 4 sweep serially.
@@ -78,7 +80,7 @@ pub fn run_with(
     // The normalisation baseline is the slim-tree pf=1 point; when that
     // point is already part of the sweep, reuse it instead of simulating
     // the identical configuration twice.
-    let mut experiment = Experiment::new(*config);
+    let mut experiment = Experiment::new(config.clone());
     let baseline_label = if prefetch_lengths.contains(&1) {
         point_label(1, false)
     } else {

@@ -63,7 +63,7 @@ pub fn run_with(
     if !grid_schemes.contains(&Scheme::PathOram) {
         grid_schemes.insert(0, Scheme::PathOram);
     }
-    let results = Experiment::new(*config)
+    let results = Experiment::new(config.clone())
         .schemes(grid_schemes)
         .workloads(workloads.iter().copied())
         .run(executor)?;

@@ -39,7 +39,7 @@ pub fn run(config: &SystemConfig) -> OramResult<Vec<Fig12Row>> {
 ///
 /// Propagates configuration errors from the protocol layer.
 pub fn run_with(config: &SystemConfig, executor: &dyn Executor) -> OramResult<Vec<Fig12Row>> {
-    let results = Experiment::new(*config)
+    let results = Experiment::new(config.clone())
         .schemes([Scheme::Palermo])
         .workloads(super::DEEP_DIVE_WORKLOADS)
         .run(executor)?;

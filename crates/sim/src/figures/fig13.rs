@@ -43,14 +43,14 @@ pub fn run_with(
     prefetch_lengths: &[u32],
     executor: &dyn Executor,
 ) -> OramResult<Vec<Fig13Row>> {
-    let mut experiment = Experiment::new(*config);
+    let mut experiment = Experiment::new(config.clone());
     for &workload in &super::DEEP_DIVE_WORKLOADS {
         experiment = experiment.spec(
-            RunSpec::new(Scheme::PathOram, workload, *config)
+            RunSpec::new(Scheme::PathOram, workload, config.clone())
                 .with_label(format!("base/{workload}")),
         );
         for &pf in prefetch_lengths {
-            let mut cfg = *config;
+            let mut cfg = config.clone();
             cfg.prefetch_override = Some(pf);
             // Length 1 is the no-prefetch Palermo configuration.
             let scheme = if pf <= 1 {

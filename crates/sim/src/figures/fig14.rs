@@ -69,7 +69,7 @@ pub fn run_z_sweep_with(
     zs: &[u16],
     executor: &dyn Executor,
 ) -> OramResult<Vec<ZSweepPoint>> {
-    let mut experiment = Experiment::new(*config)
+    let mut experiment = Experiment::new(config.clone())
         .schemes([Scheme::Palermo])
         .workloads([Workload::Random]);
     for &z in zs {
@@ -128,7 +128,7 @@ pub fn run_pe_sweep_with(
     columns: &[usize],
     executor: &dyn Executor,
 ) -> OramResult<Vec<PeSweepPoint>> {
-    let mut experiment = Experiment::new(*config)
+    let mut experiment = Experiment::new(config.clone())
         .schemes([Scheme::Palermo])
         .workloads([Workload::Random]);
     for &c in columns {

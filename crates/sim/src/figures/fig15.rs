@@ -8,12 +8,18 @@ use crate::system::SystemConfig;
 use palermo_analysis::report::Table;
 use palermo_controller::area_power::{estimate, AreaPowerEstimate, ControllerProvisioning};
 
-/// Builds the provisioning implied by a system configuration.
+/// Builds the provisioning implied by a system configuration: the Table
+/// III defaults with the mesh width taken from `pe_columns`, then any
+/// overrides the configuration's hardware profile carries on top.
 pub fn provisioning(config: &SystemConfig) -> ControllerProvisioning {
+    let defaults = ControllerProvisioning::default();
+    let o = &config.provisioning;
     ControllerProvisioning {
-        pe_rows: 3,
-        pe_columns: config.pe_columns as u32,
-        ..ControllerProvisioning::default()
+        pe_rows: o.pe_rows.unwrap_or(3),
+        pe_columns: o.pe_columns.unwrap_or(config.pe_columns as u32),
+        treetop_bytes: o.treetop_bytes.unwrap_or(defaults.treetop_bytes),
+        posmap3_bytes: o.posmap3_bytes.unwrap_or(defaults.posmap3_bytes),
+        stash_bytes: o.stash_bytes.unwrap_or(defaults.stash_bytes),
     }
 }
 
@@ -54,5 +60,22 @@ mod tests {
         assert!((est.total_power_w() - 2.14).abs() < 0.8);
         let t = table(&est);
         assert_eq!(t.len(), est.components.len() + 1);
+    }
+
+    #[test]
+    fn profile_overrides_flow_into_the_provisioning() {
+        use palermo_dram::HardwareProfile;
+        let base = provisioning(&SystemConfig::paper_default());
+        assert_eq!(
+            base.treetop_bytes,
+            ControllerProvisioning::default().treetop_bytes
+        );
+        // hbm2e doubles the tree-top cache; everything else keeps defaults.
+        let cfg = SystemConfig::paper_default().with_hardware(&HardwareProfile::hbm2e());
+        let hbm = provisioning(&cfg);
+        assert_eq!(hbm.treetop_bytes, 2 * base.treetop_bytes);
+        assert_eq!(hbm.pe_columns, base.pe_columns);
+        assert_eq!(hbm.posmap3_bytes, base.posmap3_bytes);
+        assert!(estimate(&hbm).total_area_mm2() > estimate(&base).total_area_mm2());
     }
 }

@@ -98,7 +98,7 @@ pub fn run_with(
                 .into(),
         });
     }
-    let results = Experiment::new(*config)
+    let results = Experiment::new(config.clone())
         .schemes(schemes.iter().copied())
         .workload_specs([inner.clone()])
         .sweep_offered_load(rates.iter().copied())

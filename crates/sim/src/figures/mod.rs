@@ -22,6 +22,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod load_curve;
+pub mod memory_tech;
 pub mod shard_scaling;
 pub mod tenant_mix;
 pub mod tenant_qos;

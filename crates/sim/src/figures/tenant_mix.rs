@@ -77,7 +77,7 @@ pub fn run_with(
     schemes: &[Scheme],
     executor: &dyn Executor,
 ) -> OramResult<Vec<TenantMixRow>> {
-    let results = Experiment::new(*config)
+    let results = Experiment::new(config.clone())
         .schemes(schemes.iter().copied())
         .workload_specs([spec.clone()])
         .run(executor)?;

@@ -94,7 +94,7 @@ pub fn run_with(
             reason: "tenant_qos needs collect_per_tenant enabled".into(),
         });
     }
-    let results = Experiment::new(*config)
+    let results = Experiment::new(config.clone())
         .schemes(schemes.iter().copied())
         .workload_specs([spec.clone()])
         .run(executor)?;

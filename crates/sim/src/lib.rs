@@ -32,5 +32,9 @@ pub use shard::{
     PooledShardStepper, SerialShardStepper, ShardStepper, ShardedSystem, SingleSystem, SystemShape,
 };
 pub use system::SystemConfig;
+
+pub use palermo_dram::{
+    DramConfigError, EnergyCoefficients, HardwareProfile, ProfileError, ProvisioningOverrides,
+};
 // Re-exported so experiment code can name specs without a second import.
 pub use palermo_workloads::WorkloadSpec;

@@ -29,8 +29,8 @@ use crate::schemes::Scheme;
 use crate::serving::ServingEngine;
 use crate::system::SystemConfig;
 use palermo_analysis::LatencyHistogram;
-use palermo_controller::OramController;
-use palermo_dram::{DramStats, DramSystem};
+use palermo_controller::{memory_energy, EnergyBreakdown, OramController};
+use palermo_dram::{DramConfig, DramStats, DramSystem, EnergyCoefficients};
 use palermo_oram::crypto::Payload;
 use palermo_oram::error::{OramError, OramResult};
 use palermo_oram::hierarchy::HierarchicalOram;
@@ -253,6 +253,15 @@ pub struct RunMetrics {
     /// reproduce the aggregates and `cycles`/`stash_high_water` are maxima
     /// ([`RunMetrics::shard_conservation_ok`]).
     pub per_shard: Vec<ShardMetrics>,
+    /// Name of the hardware profile the run executed on (from
+    /// [`SystemConfig::hardware`]; "ddr4-3200" for the default).
+    pub hardware: String,
+    /// Energy coefficients of that profile, carried so energy is
+    /// derivable from the DRAM counters without re-resolving the profile.
+    pub energy: EnergyCoefficients,
+    /// The DRAM organisation the run executed on (its bank count feeds
+    /// the background-energy term).
+    pub dram_config: DramConfig,
 }
 
 impl RunMetrics {
@@ -311,6 +320,43 @@ impl RunMetrics {
         self.per_tenant
             .get(i)
             .map_or(0.0, |t| t.dram_ops as f64 / total as f64)
+    }
+
+    /// Memory energy of the measured window, decomposed by source —
+    /// derived on demand from the DRAM counters and the profile's
+    /// coefficients, so the determinism contract stays purely integral.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        memory_energy(&self.energy, &self.dram_config, &self.dram)
+    }
+
+    /// Total memory energy of the measured window, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_breakdown().total_j()
+    }
+
+    /// Memory energy per DRAM access (64-byte burst), joules; 0 when the
+    /// window performed no accesses.
+    pub fn energy_per_access_j(&self) -> f64 {
+        self.energy_breakdown()
+            .per_access_j(self.dram.total_accesses())
+    }
+
+    /// Tenant `i`'s share of the window's memory energy in joules,
+    /// attributed proportionally to its [`TenantMetrics::dram_ops`] count
+    /// ([`RunMetrics::tenant_dram_share`]) — the per-tenant bill next to
+    /// the per-tenant p99.
+    pub fn tenant_energy_j(&self, i: usize) -> f64 {
+        self.tenant_dram_share(i) * self.energy_j()
+    }
+
+    /// Tenant `i`'s energy per *its own* DRAM burst, joules; 0 when the
+    /// tenant issued none.
+    pub fn tenant_energy_per_access_j(&self, i: usize) -> f64 {
+        let ops = self.per_tenant.get(i).map_or(0, |t| t.dram_ops);
+        if ops == 0 {
+            return 0.0;
+        }
+        self.tenant_energy_j(i) / ops as f64
     }
 
     /// Checks the per-tenant conservation invariant: when per-tenant
@@ -851,6 +897,12 @@ pub(crate) fn run_core(
     prefetch_length: u32,
     stepper: &dyn Stepper,
 ) -> OramResult<RunMetrics> {
+    config
+        .dram
+        .validate()
+        .map_err(|e| OramError::InvalidParams {
+            reason: format!("invalid DRAM configuration: {e}"),
+        })?;
     let mut oram = HierarchicalOram::new(hierarchy_cfg)?;
     let mut controller = OramController::new(controller_cfg);
     let mut dram = DramSystem::new(config.dram);
@@ -941,6 +993,9 @@ or raise protected_bytes)",
         dropped_arrivals: 0,
         queue_waits: Vec::new(),
         per_shard: Vec::new(),
+        hardware: config.hardware.clone(),
+        energy: config.energy,
+        dram_config: config.dram,
     };
 
     let sample_every = (config.measured_requests / 100).max(1);
@@ -1198,7 +1253,7 @@ pub fn run_all_workloads_with(
     config: &SystemConfig,
     executor: &dyn crate::experiment::Executor,
 ) -> OramResult<Vec<RunMetrics>> {
-    let results = crate::experiment::Experiment::new(*config)
+    let results = crate::experiment::Experiment::new(config.clone())
         .schemes([scheme])
         .workloads(Workload::ALL)
         .run(executor)?;
@@ -1442,6 +1497,9 @@ mod tests {
             dropped_arrivals: 0,
             queue_waits: vec![],
             per_shard: vec![],
+            hardware: "ddr4-3200".to_string(),
+            energy: EnergyCoefficients::default(),
+            dram_config: DramConfig::ddr4_3200_quad_channel(),
         };
         assert_eq!(m.requests_per_second(), 0.0);
         assert_eq!(m.mean_latency(), 0.0);

@@ -33,7 +33,7 @@ use crate::runner::{run_core, RunMetrics, ShardMetrics, Stepper, TenantMetrics};
 use crate::schemes::Scheme;
 use crate::system::SystemConfig;
 use palermo_analysis::LatencyHistogram;
-use palermo_dram::DramStats;
+use palermo_dram::{DramConfig, DramStats, EnergyCoefficients};
 use palermo_oram::error::{OramError, OramResult};
 use palermo_oram::rng::SplitMix64;
 use palermo_workloads::{OpenLoopSpec, ShardRouter, ShardSpec, ShardStream, WorkloadSpec};
@@ -152,7 +152,7 @@ impl ShardedSystem {
         let mut seeds = SplitMix64::new(config.seed);
         let shard_configs = (0..shard_spec.shards)
             .map(|i| {
-                let mut c = *config;
+                let mut c = config.clone();
                 // A shard's protected space is its slice of the global one,
                 // but never smaller than the footprint the router sends it
                 // (rounded up to whole cache lines so the line count stays
@@ -298,6 +298,15 @@ impl ShardedSystem {
             dropped_arrivals: 0,
             queue_waits: Vec::new(),
             per_shard: Vec::new(),
+            hardware: runs
+                .first()
+                .map_or_else(|| "ddr4-3200".to_string(), |r| r.hardware.clone()),
+            energy: runs
+                .first()
+                .map_or_else(EnergyCoefficients::default, |r| r.energy),
+            dram_config: runs
+                .first()
+                .map_or_else(DramConfig::ddr4_3200_quad_channel, |r| r.dram_config),
         };
         // LLC hit rate is a ratio, not a count: recover the aggregate by
         // weighting each shard's rate with its access volume (falling back

@@ -1,13 +1,13 @@
 //! End-to-end system configuration (Table III).
 
 use crate::serving::AdmissionPolicyKind;
-use palermo_dram::DramConfig;
+use palermo_dram::{DramConfig, EnergyCoefficients, HardwareProfile, ProvisioningOverrides};
 use palermo_oram::error::OramResult;
 use palermo_oram::params::{HierarchyParams, OramParams};
 use palermo_workloads::LlcConfig;
 
 /// Configuration of a full simulated system run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Size of the protected user memory space in bytes (Table III: 16 GiB).
     pub protected_bytes: u64,
@@ -35,6 +35,17 @@ pub struct SystemConfig {
     pub llc: LlcConfig,
     /// DRAM organisation and timing.
     pub dram: DramConfig,
+    /// Name of the hardware profile `dram`/`energy`/`provisioning` came
+    /// from ("ddr4-3200" for the hardcoded Table III default). Carried
+    /// into `RunMetrics` and the export schema so swept results stay
+    /// attributable to their memory part.
+    pub hardware: String,
+    /// Energy coefficients of the memory part.
+    pub energy: EnergyCoefficients,
+    /// Controller provisioning overrides the hardware profile carries
+    /// (empty for the defaults); applied by `figures::fig15` when
+    /// estimating controller area/power.
+    pub provisioning: ProvisioningOverrides,
     /// Override the per-workload prefetch length (None = use the workload's
     /// default, mirroring the paper's per-workload sweep).
     pub prefetch_override: Option<u32>,
@@ -70,6 +81,9 @@ impl SystemConfig {
             seed: 0x9A1E_0A90,
             llc: LlcConfig::default(),
             dram: DramConfig::ddr4_3200_quad_channel(),
+            hardware: "ddr4-3200".to_string(),
+            energy: EnergyCoefficients::default(),
+            provisioning: ProvisioningOverrides::default(),
             prefetch_override: None,
             collect_per_tenant: true,
             serving_queue_capacity: 64,
@@ -98,11 +112,34 @@ impl SystemConfig {
                 line_bytes: 64,
             },
             dram: DramConfig::ddr4_3200_quad_channel(),
+            hardware: "ddr4-3200".to_string(),
+            energy: EnergyCoefficients::default(),
+            provisioning: ProvisioningOverrides::default(),
             prefetch_override: None,
             collect_per_tenant: true,
             serving_queue_capacity: 64,
             admission_policy: AdmissionPolicyKind::DropTail,
         }
+    }
+
+    /// Applies a hardware profile in place: the DRAM organisation/timing,
+    /// the energy coefficients, the profile name, and — when the profile
+    /// carries a `pe_columns` override — the mesh width.
+    pub fn apply_hardware(&mut self, profile: &HardwareProfile) {
+        self.hardware = profile.name.clone();
+        self.dram = profile.dram;
+        self.energy = profile.energy;
+        self.provisioning = profile.provisioning;
+        if let Some(columns) = profile.provisioning.pe_columns {
+            self.pe_columns = columns as usize;
+        }
+    }
+
+    /// Builder-style [`SystemConfig::apply_hardware`].
+    #[must_use]
+    pub fn with_hardware(mut self, profile: &HardwareProfile) -> Self {
+        self.apply_hardware(profile);
+        self
     }
 
     /// The footprint hint the runner hands the workload stream built for
@@ -175,6 +212,39 @@ mod tests {
         let params = cfg.hierarchy_params().unwrap();
         assert!(params.data.levels < 20);
         assert_eq!(cfg.total_requests(), 75);
+    }
+
+    #[test]
+    fn default_hardware_is_the_ddr4_profile() {
+        let cfg = SystemConfig::paper_default();
+        let profile = HardwareProfile::ddr4_3200();
+        assert_eq!(cfg.hardware, profile.name);
+        assert_eq!(cfg.dram, profile.dram);
+        assert_eq!(cfg.energy, profile.energy);
+        assert!(cfg.provisioning.is_empty());
+        // Applying the DDR4 profile to the default is a no-op.
+        assert_eq!(cfg.clone().with_hardware(&profile), cfg);
+    }
+
+    #[test]
+    fn applying_a_profile_swaps_dram_energy_and_name() {
+        let profile = HardwareProfile::hbm2e();
+        let cfg = SystemConfig::small_for_tests().with_hardware(&profile);
+        assert_eq!(cfg.hardware, "hbm2e");
+        assert_eq!(cfg.dram, profile.dram);
+        assert_eq!(cfg.energy, profile.energy);
+        assert_eq!(cfg.provisioning, profile.provisioning);
+        // hbm2e overrides tree-top provisioning but not pe_columns.
+        assert_eq!(cfg.pe_columns, SystemConfig::small_for_tests().pe_columns);
+
+        let mut wide = profile.clone();
+        wide.provisioning.pe_columns = Some(16);
+        assert_eq!(
+            SystemConfig::small_for_tests()
+                .with_hardware(&wide)
+                .pe_columns,
+            16
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pool.threads()
     );
     let started = Instant::now();
-    let results = grid(cfg).run(&pool)?;
+    let results = grid(cfg.clone()).run(&pool)?;
     let parallel_wall = started.elapsed();
     eprintln!("parallel run finished in {parallel_wall:.2?}");
 

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pool = ThreadPoolExecutor::with_available_parallelism();
     let started = Instant::now();
-    let results = Experiment::new(cfg)
+    let results = Experiment::new(cfg.clone())
         .schemes(SCHEMES)
         .workload_specs([inner.clone()])
         .sweep_offered_load(RATES)
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Open-loop runs are deterministic like everything else; verify the
     // executors agree on demand.
     if std::env::var("PALERMO_SERIAL_CHECK").is_ok() {
-        let serial = Experiment::new(cfg)
+        let serial = Experiment::new(cfg.clone())
             .schemes(SCHEMES)
             .workload_specs([inner.clone()])
             .sweep_offered_load(RATES)

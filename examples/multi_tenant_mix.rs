@@ -66,12 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pool.threads()
     );
     let started = Instant::now();
-    let results = grid(cfg, &specs).run(&pool)?;
+    let results = grid(cfg.clone(), &specs).run(&pool)?;
     eprintln!("parallel run finished in {:.2?}", started.elapsed());
 
     // The executors are byte-identical by construction; verify on demand.
     if std::env::var("PALERMO_SERIAL_CHECK").is_ok() {
-        let serial = grid(cfg, &specs).run(&SerialExecutor)?;
+        let serial = grid(cfg.clone(), &specs).run(&SerialExecutor)?;
         assert_eq!(serial.to_csv(), results.to_csv(), "executors diverged");
         eprintln!("serial re-run verified: executors byte-identical");
     }

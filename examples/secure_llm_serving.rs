@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.warmup_requests = 100;
 
     println!("serving GPT-2-style token-table traffic through Palermo and RingORAM ...");
-    let results = Experiment::new(cfg)
+    let results = Experiment::new(cfg.clone())
         .schemes([Scheme::Palermo, Scheme::RingOram])
         .workloads([Workload::Llm])
         .run(&ThreadPoolExecutor::with_available_parallelism())?;

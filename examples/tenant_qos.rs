@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pool = ThreadPoolExecutor::with_available_parallelism();
     let started = Instant::now();
-    let results = Experiment::new(cfg)
+    let results = Experiment::new(cfg.clone())
         .schemes(SCHEMES)
         .workload_specs([spec.clone()])
         .run(&pool)?;
@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The executors are byte-identical by construction; verify on demand.
     if std::env::var("PALERMO_SERIAL_CHECK").is_ok() {
-        let serial = Experiment::new(cfg)
+        let serial = Experiment::new(cfg.clone())
             .schemes(SCHEMES)
             .workload_specs([spec.clone()])
             .run(&SerialExecutor)?;

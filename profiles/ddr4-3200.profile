@@ -1,0 +1,38 @@
+# Palermo hardware profile: ddr4-3200
+# One `key = value` per line; '#' starts a comment line; timings are
+# 1600 MHz memory-clock cycles. No key is optional unless
+# marked so; unknown or duplicate keys are errors.
+name = ddr4-3200
+
+# DRAM organisation
+channels = 4
+ranks = 1
+bank_groups = 4
+banks_per_group = 4
+rows = 65536
+row_bytes = 8192
+burst_bytes = 64
+queue_capacity = 32
+
+# DRAM timing (cycles)
+t_cl = 22
+t_cwl = 16
+t_rcd = 22
+t_rp = 22
+t_ras = 52
+t_rc = 74
+t_ccd_s = 4
+t_ccd_l = 8
+t_rrd_s = 4
+t_rrd_l = 8
+t_faw = 26
+t_wr = 24
+t_wtr = 8
+t_rtp = 12
+t_bl = 4
+
+# Energy coefficients
+pj_per_act = 1700
+pj_per_rd_burst = 4600
+pj_per_wr_burst = 4800
+background_mw_per_bank = 9

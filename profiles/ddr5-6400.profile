@@ -1,0 +1,38 @@
+# Palermo hardware profile: ddr5-6400
+# One `key = value` per line; '#' starts a comment line; timings are
+# 1600 MHz memory-clock cycles. No key is optional unless
+# marked so; unknown or duplicate keys are errors.
+name = ddr5-6400
+
+# DRAM organisation
+channels = 8
+ranks = 1
+bank_groups = 8
+banks_per_group = 4
+rows = 65536
+row_bytes = 4096
+burst_bytes = 64
+queue_capacity = 48
+
+# DRAM timing (cycles)
+t_cl = 23
+t_cwl = 21
+t_rcd = 23
+t_rp = 23
+t_ras = 51
+t_rc = 74
+t_ccd_s = 4
+t_ccd_l = 8
+t_rrd_s = 4
+t_rrd_l = 8
+t_faw = 21
+t_wr = 48
+t_wtr = 8
+t_rtp = 12
+t_bl = 4
+
+# Energy coefficients
+pj_per_act = 1300
+pj_per_rd_burst = 3600
+pj_per_wr_burst = 3900
+background_mw_per_bank = 4.5

@@ -1,0 +1,41 @@
+# Palermo hardware profile: hbm2e
+# One `key = value` per line; '#' starts a comment line; timings are
+# 1600 MHz memory-clock cycles. No key is optional unless
+# marked so; unknown or duplicate keys are errors.
+name = hbm2e
+
+# DRAM organisation
+channels = 16
+ranks = 1
+bank_groups = 4
+banks_per_group = 4
+rows = 16384
+row_bytes = 1024
+burst_bytes = 64
+queue_capacity = 64
+
+# DRAM timing (cycles)
+t_cl = 23
+t_cwl = 12
+t_rcd = 23
+t_rp = 23
+t_ras = 45
+t_rc = 68
+t_ccd_s = 4
+t_ccd_l = 6
+t_rrd_s = 3
+t_rrd_l = 5
+t_faw = 13
+t_wr = 26
+t_wtr = 6
+t_rtp = 6
+t_bl = 4
+
+# Energy coefficients
+pj_per_act = 650
+pj_per_rd_burst = 1900
+pj_per_wr_burst = 2000
+background_mw_per_bank = 1.8
+
+# Controller provisioning overrides (optional)
+treetop_bytes = 1572864

@@ -101,7 +101,7 @@ fn per_tenant_counts_sum_exactly_to_the_aggregates() {
 fn per_tenant_metrics_are_byte_identical_across_executors() {
     let cfg = tiny();
     let grid = |executor: &dyn palermo::sim::experiment::Executor| {
-        Experiment::new(cfg)
+        Experiment::new(cfg.clone())
             .schemes(SCHEMES)
             .workload_specs(mix_specs())
             .run(executor)

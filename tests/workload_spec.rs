@@ -195,8 +195,8 @@ fn spec_names_round_trip_through_csv_and_json() {
 fn hostile_labels_survive_both_exports_in_both_directions() {
     let cfg = tiny();
     let hostile = "tenant \"A\", 50%+ load, {prod}";
-    let spec =
-        RunSpec::with_workload_spec(Scheme::Palermo, four_tenant_mix(), cfg).with_label(hostile);
+    let spec = RunSpec::with_workload_spec(Scheme::Palermo, four_tenant_mix(), cfg.clone())
+        .with_label(hostile);
     let set = Experiment::new(cfg)
         .spec(spec)
         .run(&SerialExecutor)
