@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use palermo_bench::report_config;
 use palermo_sim::figures::shard_scaling;
-use palermo_sim::runner::EventStepper;
+use palermo_sim::runner::CalendarStepper;
 use palermo_sim::schemes::Scheme;
 use palermo_sim::shard::{PooledShardStepper, SerialShardStepper, ShardStepper, ShardedSystem};
 use palermo_sim::system::SystemConfig;
@@ -40,10 +40,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("shard_scaling");
     group.sample_size(10);
     group.bench_function("palermo_k4_serial", |b| {
-        b.iter(|| ShardStepper::run(&SerialShardStepper, &system, &EventStepper).expect("run"));
+        b.iter(|| ShardStepper::run(&SerialShardStepper, &system, &CalendarStepper).expect("run"));
     });
     group.bench_function("palermo_k4_pooled", |b| {
-        b.iter(|| ShardStepper::run(&pool, &system, &EventStepper).expect("run"));
+        b.iter(|| ShardStepper::run(&pool, &system, &CalendarStepper).expect("run"));
     });
     group.finish();
 }

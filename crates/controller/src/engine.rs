@@ -148,7 +148,15 @@ struct NodeRuntime {
     reads_issued: usize,
     writes_issued: usize,
     outstanding_reads: usize,
+    /// Static compute requirement of the node (never mutated after
+    /// construction; the running state lives in `compute_expiry`).
     compute_remaining: u32,
+    /// Absolute countdown-clock value at which the node's compute finishes,
+    /// set when the node enters its request's countdown list. Storing the
+    /// deadline instead of a per-tick decremented counter lets the step-2
+    /// sweep skip entirely on ticks where no deadline is due, and lets bulk
+    /// cycle skips advance one clock instead of every tracked node.
+    compute_expiry: u64,
     all_issued: bool,
     complete: bool,
     /// Whether this node sits in its request's countdown list.
@@ -164,6 +172,7 @@ impl NodeRuntime {
             writes_issued: 0,
             outstanding_reads: 0,
             compute_remaining: compute,
+            compute_expiry: 0,
             all_issued: reads.is_empty() && writes.is_empty(),
             complete: reads.is_empty() && writes.is_empty() && compute == 0,
             in_countdown: false,
@@ -200,6 +209,11 @@ struct InflightRequest {
     /// Lowest node index that may still have memory operations to issue;
     /// per-node pending work is monotone, so the drained prefix is skipped.
     pending_cursor: u16,
+    /// Number of nodes that still have memory operations to issue. Pending
+    /// work is monotone per node, so this only ever decrements; the issue
+    /// pass skips a fully-drained request in O(1) instead of rescanning its
+    /// node list every cycle while it waits on completions or compute.
+    pending_nodes: u16,
     /// DRAM bursts issued so far on behalf of this request.
     dram_ops: u64,
 }
@@ -223,17 +237,28 @@ impl InflightRequest {
     /// Adds `node_idx` to the countdown list if it is countdown-eligible
     /// and not already tracked. Plan dependencies always point backwards, so
     /// the ascending order is preserved by inserting at the partition point.
-    fn track_countdown(&mut self, node_idx: usize) {
+    ///
+    /// `base` is the countdown-clock value such that the node's deadline is
+    /// `base + compute_remaining` — the clock value of the sweep *before*
+    /// the first one that decrements it in the per-cycle reference (the
+    /// current clock at every call site except the mid-sweep cascade, which
+    /// passes `clock - 1` because the running sweep still counts). Returns
+    /// the stored deadline when newly tracked, so the controller can
+    /// maintain its running countdown minimum.
+    fn track_countdown(&mut self, node_idx: usize, base: u64) -> Option<u64> {
         if !self.nodes[node_idx].countdown_shape()
             || self.nodes[node_idx].in_countdown
             || !self.deps_done(node_idx)
         {
-            return;
+            return None;
         }
         let idx16 = node_idx as u16;
         let pos = self.countdown.partition_point(|&x| x < idx16);
         self.countdown.insert(pos, idx16);
         self.nodes[node_idx].in_countdown = true;
+        let expiry = base + u64::from(self.nodes[node_idx].compute_remaining);
+        self.nodes[node_idx].compute_expiry = expiry;
+        Some(expiry)
     }
 
     fn phase_issued(&self, sub: SubOram, phase: PhaseKind) -> bool {
@@ -331,6 +356,17 @@ pub struct OramController {
     last_blocked_levels: [bool; SubOram::COUNT],
     /// Whether the last tick had a ready node rejected by a full DRAM queue.
     enqueue_blocked: bool,
+    /// Monotone clock counting countdown-bearing cycles: +1 per tick's
+    /// step-2 sweep, +`total` per bulk skip. Node deadlines
+    /// (`compute_expiry`) live in this clock's domain.
+    countdown_clock: u64,
+    /// Exact minimum `compute_expiry` over every tracked countdown node
+    /// (`u64::MAX` when none are tracked), maintained so
+    /// [`OramController::next_wakeup`] answers in O(1) and the step-2 sweep
+    /// runs only on ticks where a deadline is actually due: every track
+    /// site min-merges the new deadline, and the sweep (which walks every
+    /// tracked node when it does run) rebuilds the minimum exactly.
+    countdown_min: u64,
 }
 
 impl OramController {
@@ -349,6 +385,8 @@ impl OramController {
             last_any_pending: false,
             last_blocked_levels: [false; SubOram::COUNT],
             enqueue_blocked: false,
+            countdown_clock: 0,
+            countdown_min: u64::MAX,
         }
     }
 
@@ -402,6 +440,7 @@ impl OramController {
             .insert(plan.request_id, self.inflight.len());
         self.stats.requests_accepted += 1;
         let incomplete = nodes.iter().filter(|n| !n.complete).count() as u16;
+        let pending_nodes = nodes.iter().filter(|n| n.has_pending_ops()).count() as u16;
         let mut req = InflightRequest {
             nodes,
             submitted_at: cycle,
@@ -410,10 +449,13 @@ impl OramController {
             countdown: Vec::new(),
             incomplete,
             pending_cursor: 0,
+            pending_nodes,
             dram_ops: 0,
         };
         for i in 0..req.nodes.len() {
-            req.track_countdown(i);
+            if let Some(exp) = req.track_countdown(i, self.countdown_clock) {
+                self.countdown_min = self.countdown_min.min(exp);
+            }
         }
         self.inflight.push(req);
         Ok(())
@@ -496,7 +538,13 @@ impl OramController {
                         node.outstanding_reads = node.outstanding_reads.saturating_sub(1);
                         activity.completions_routed += 1;
                         if node.outstanding_reads == 0 {
-                            req.track_countdown(node_idx as usize);
+                            // Min-merge so the conditional sweep below knows
+                            // whether this deadline is already due.
+                            if let Some(exp) =
+                                req.track_countdown(node_idx as usize, self.countdown_clock)
+                            {
+                                self.countdown_min = self.countdown_min.min(exp);
+                            }
                         }
                     }
                 }
@@ -507,38 +555,47 @@ impl OramController {
 
         // 2. Update node completion states (compute countdown happens once a
         //    node's dependencies are met and its memory traffic is done).
-        //    Only the tracked countdown nodes can change state here. A node
-        //    completing may make later nodes (dependencies always point
-        //    backwards) countdown-eligible within the same cycle, exactly as
-        //    the per-cycle reference's in-order sweep did: `track_countdown`
-        //    inserts them behind the current position, so they are reached
-        //    in this same pass.
-        for req in &mut self.inflight {
-            if req.countdown.is_empty() {
-                continue;
-            }
-            let mut i = 0;
-            while i < req.countdown.len() {
-                let n_idx = req.countdown[i] as usize;
-                let node = &mut req.nodes[n_idx];
-                if node.compute_remaining > 0 {
-                    node.compute_remaining -= 1;
-                }
-                if node.compute_remaining > 0 {
-                    i += 1;
+        //    Deadlines are absolute in the countdown clock's domain, so a
+        //    tick where the running minimum lies in the future provably
+        //    completes nothing and skips the sweep outright. When the sweep
+        //    does run, a node completing may make later nodes (dependencies
+        //    always point backwards) countdown-eligible within the same
+        //    cycle, exactly as the per-cycle reference's in-order sweep did:
+        //    `track_countdown` inserts them behind the current position, so
+        //    they are reached — completed or counted — in this same pass,
+        //    which is why the sweep rebuilds the exact countdown minimum.
+        //    (Mid-sweep tracks pass `clock - 1` as the deadline base: the
+        //    reference decremented such nodes in this very sweep.)
+        self.countdown_clock += 1;
+        let clock = self.countdown_clock;
+        if self.countdown_min <= clock {
+            let mut countdown_min = u64::MAX;
+            for req in &mut self.inflight {
+                if req.countdown.is_empty() {
                     continue;
                 }
-                node.complete = true;
-                node.in_countdown = false;
-                req.incomplete -= 1;
-                req.countdown.remove(i);
-                activity.nodes_completed += 1;
-                // The completion may satisfy the last dependency of an
-                // otherwise-finished node; start its countdown.
-                for d in (n_idx + 1)..req.nodes.len() {
-                    req.track_countdown(d);
+                let mut i = 0;
+                while i < req.countdown.len() {
+                    let n_idx = req.countdown[i] as usize;
+                    let node = &mut req.nodes[n_idx];
+                    if node.compute_expiry > clock {
+                        countdown_min = countdown_min.min(node.compute_expiry);
+                        i += 1;
+                        continue;
+                    }
+                    node.complete = true;
+                    node.in_countdown = false;
+                    req.incomplete -= 1;
+                    req.countdown.remove(i);
+                    activity.nodes_completed += 1;
+                    // The completion may satisfy the last dependency of an
+                    // otherwise-finished node; start its countdown.
+                    for d in (n_idx + 1)..req.nodes.len() {
+                        req.track_countdown(d, clock - 1);
+                    }
                 }
             }
+            self.countdown_min = countdown_min;
         }
 
         // 3. Issue ready memory operations, oldest request first.
@@ -553,6 +610,12 @@ impl OramController {
             if issued_this_cycle >= self.config.issue_width {
                 width_limited = true;
                 break;
+            }
+            // A fully-drained request contributes nothing to issue, stall, or
+            // blocked-level state while it waits on completions or compute;
+            // skip its node scan entirely.
+            if self.inflight[idx].pending_nodes == 0 {
+                continue;
             }
             // Per-node pending work is monotone, so the drained prefix can
             // be remembered and skipped.
@@ -621,6 +684,7 @@ impl OramController {
                     }
                     if !node.has_pending_ops() {
                         node.all_issued = true;
+                        req.pending_nodes -= 1;
                         break;
                     }
                 }
@@ -634,8 +698,12 @@ impl OramController {
                     }
                 } else if req.nodes[node_idx].outstanding_reads == 0 {
                     // A node fully issued with nothing outstanding (posted
-                    // writes only) starts its compute countdown next cycle.
-                    req.track_countdown(node_idx);
+                    // writes only) starts its compute countdown next cycle;
+                    // the clock already counted this tick's sweep, so the
+                    // current value is the correct deadline base.
+                    if let Some(exp) = req.track_countdown(node_idx, self.countdown_clock) {
+                        self.countdown_min = self.countdown_min.min(exp);
+                    }
                 }
             }
         }
@@ -715,24 +783,38 @@ impl OramController {
     /// next tick would execute at. Returns `None` when no node is counting
     /// down (the controller is then fully at the mercy of DRAM events).
     ///
-    /// A node whose countdown stands at `k` after a quiet tick decrements on
-    /// each of the next `k` ticks and completes during the tick at
-    /// `now + k - 1`; every earlier tick merely decrements, which
-    /// [`OramController::skip_cycles`] replays in bulk.
+    /// A node whose deadline stands `k` clock steps ahead after a quiet tick
+    /// completes during the tick at `now + k - 1`; every earlier tick merely
+    /// advances the clock, which [`OramController::skip_cycles`] replays in
+    /// bulk.
     pub fn next_wakeup(&self, now: u64) -> Option<u64> {
-        let mut best: Option<u64> = None;
+        debug_assert_eq!(
+            self.countdown_min,
+            self.debug_recompute_countdown_min(),
+            "running countdown minimum diverged from the node state"
+        );
+        if self.countdown_min == u64::MAX {
+            return None;
+        }
+        // After a settled tick every tracked deadline is at or past the
+        // clock (the sweep just retired everything due); max(1) keeps the
+        // prediction safe ("wake immediately") for a deadline landing on
+        // the very next sweep.
+        debug_assert!(self.countdown_min >= self.countdown_clock);
+        let remaining = self.countdown_min - self.countdown_clock;
+        Some(now + remaining.max(1) - 1)
+    }
+
+    /// O(nodes) recomputation of the running countdown minimum, used only by
+    /// debug assertions guarding the incremental bookkeeping.
+    fn debug_recompute_countdown_min(&self) -> u64 {
+        let mut min = u64::MAX;
         for req in &self.inflight {
             for &n in &req.countdown {
-                let node = &req.nodes[n as usize];
-                // After a settled tick a tracked node always has at least
-                // one cycle of compute left (a zero-compute node completes
-                // the very next tick); max(1) keeps the prediction safe
-                // ("wake immediately") regardless.
-                let when = now + u64::from(node.compute_remaining.max(1)) - 1;
-                best = Some(best.map_or(when, |b| b.min(when)));
+                min = min.min(req.nodes[n as usize].compute_expiry);
             }
         }
-        best
+        min
     }
 
     /// Accounts `skipped` provably-quiet cycles in bulk: cycle and stall
@@ -745,26 +827,42 @@ impl OramController {
     /// only after a tick that reported no [`TickActivity`]. `dram_queued` is
     /// the (frozen) total DRAM queue depth used by the stall-accounting rule.
     pub fn skip_cycles(&mut self, skipped: u64, dram_queued: usize) {
-        self.stats.cycles += skipped;
-        if self.last_any_pending && dram_queued < 4 {
-            self.stats.sync_stall_cycles += skipped;
+        let stalled = if dram_queued < 4 { skipped } else { 0 };
+        self.skip_cycles_window(skipped, stalled);
+    }
+
+    /// The windowed bulk form of [`OramController::skip_cycles`]: accounts
+    /// `total` quiet cycles at once, of which `stalled` had a DRAM queue
+    /// depth below the stall threshold. The settled-window stepper replays
+    /// many skip segments per window (one per interior DRAM command), and
+    /// the only per-segment input is the queue depth — everything else
+    /// (`last_any_pending`, the blocked-level mask, every countdown) is
+    /// frozen, so segments fold into two counters and one clock advance.
+    ///
+    /// Callers accumulate `stalled` per segment with the same `< 4` queue
+    /// test [`OramController::tick`] applies, then call this once; the
+    /// countdown safety precondition is that `total` stays strictly below
+    /// every running countdown — deadlines are absolute, so the whole skip
+    /// is one addition to the countdown clock, bounded by the nearest
+    /// deadline.
+    pub fn skip_cycles_window(&mut self, total: u64, stalled: u64) {
+        debug_assert!(stalled <= total);
+        self.stats.cycles += total;
+        if self.last_any_pending && stalled > 0 {
+            self.stats.sync_stall_cycles += stalled;
             for sub in SubOram::ALL {
                 if self.last_blocked_levels[sub.index()] {
-                    self.stats.sync_stall_by_level[sub.index()] += skipped;
+                    self.stats.sync_stall_by_level[sub.index()] += stalled;
                 }
             }
         }
-        for req in &mut self.inflight {
-            for i in 0..req.countdown.len() {
-                let node = &mut req.nodes[req.countdown[i] as usize];
-                debug_assert!(
-                    u64::from(node.compute_remaining) > skipped,
-                    "skip of {skipped} cycles would overrun a compute countdown at {}",
-                    node.compute_remaining
-                );
-                node.compute_remaining -= skipped as u32;
-            }
-        }
+        self.countdown_clock += total;
+        debug_assert!(
+            total == 0
+                || self.countdown_min == u64::MAX
+                || self.countdown_min > self.countdown_clock,
+            "skip of {total} cycles overran the nearest compute deadline"
+        );
     }
 }
 

@@ -7,6 +7,22 @@
 //! commands at least a burst apart, which bounds the achievable bandwidth at
 //! the DDR4 peak and makes the bandwidth-utilisation statistics meaningful.
 //!
+//! # Per-bank command queues
+//!
+//! Requests are queued per bank rather than in one channel-wide list. Within
+//! a bank, every queued request of the same scheduling class (column to the
+//! open row / activate / precharge of a conflicting row) shares one
+//! bank-local ready cycle, so each bank caches just its oldest candidate per
+//! class (`BankCand`) and publishes the class's bank-local ready cycle into
+//! an O(log B) [`MinTree`] (one per class). Channel-global constraints —
+//! command-bus spacing, tCCD_L, tRRD, tFAW — are applied at decision time as
+//! per-bank-group floors, so issuing on one bank never invalidates another
+//! bank's cache: cold banks are written once when touched and never
+//! rescanned. Global age ordering across banks uses a monotone per-channel
+//! sequence number stamped at enqueue, which makes "oldest ready first"
+//! a min-seq reduction over at most B cached candidates instead of a scan
+//! over every queued request.
+//!
 //! For the event-driven simulation core the channel additionally predicts
 //! [`Channel::next_event_cycle`] — the earliest future cycle at which a tick
 //! could do anything (issue a command or return read data). Between now and
@@ -16,6 +32,7 @@
 
 use crate::address::DramCoord;
 use crate::config::DramConfig;
+use crate::mintree::MinTree;
 use crate::request::{MemCompletion, MemOpKind, MemRequest, RowBufferResult};
 use std::collections::VecDeque;
 
@@ -33,8 +50,22 @@ struct QueuedRequest {
     coord: DramCoord,
     /// Flat bank index, precomputed at enqueue for the scan hot path.
     flat_bank: usize,
+    /// Channel-wide arrival sequence number: the FR-FCFS age order across
+    /// banks (bank queues are FIFO, so within a bank the front is oldest).
+    seq: u64,
     enqueued_at: u64,
     row_result: Option<RowBufferResult>,
+}
+
+/// Cached oldest candidate per scheduling class for one bank: `(seq, pos)`
+/// of the oldest queued request that is a column hit / a precharge cause.
+/// The activate candidate needs no cache — with no open row every queued
+/// request wants an activate and the front of the FIFO is the oldest.
+/// Refreshed whenever the bank's queue membership or open row changes.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankCand {
+    col: Option<(u64, u32)>,
+    pre: Option<(u64, u32)>,
 }
 
 /// Per-channel statistics counters.
@@ -78,36 +109,28 @@ impl ChannelTickResult {
     }
 }
 
-/// Result of one fused FR-FCFS scheduling scan over the queue.
-#[derive(Debug, Clone, Copy)]
-struct ScheduleScan {
-    /// Oldest request whose column command is ready (pass 1).
-    column: Option<usize>,
-    /// Oldest request whose activate is ready (pass 2).
-    activate: Option<usize>,
-    /// Oldest request whose precharge is ready (pass 3).
-    precharge: Option<usize>,
-    /// Earliest cycle at which any queued request becomes actionable.
-    next_actionable: u64,
-}
-
-impl Default for ScheduleScan {
-    fn default() -> Self {
-        ScheduleScan {
-            column: None,
-            activate: None,
-            precharge: None,
-            next_actionable: u64::MAX,
-        }
-    }
-}
-
-/// A single DRAM channel with its banks, queue and scheduler.
+/// A single DRAM channel with its banks, per-bank queues and scheduler.
 #[derive(Debug, Clone)]
 pub struct Channel {
     config: DramConfig,
     banks: Vec<BankState>,
-    queue: VecDeque<QueuedRequest>,
+    /// Per-bank FIFO command queues (seq-ascending by construction).
+    bank_queues: Vec<VecDeque<QueuedRequest>>,
+    /// Per-bank cached oldest candidate per scheduling class.
+    cand: Vec<BankCand>,
+    /// Bank-local ready cycle of each bank's column candidate
+    /// (`bank.next_column`, or `u64::MAX` with no candidate).
+    col_tree: MinTree,
+    /// Bank-local ready cycle of each bank's activate candidate
+    /// (`bank.next_activate`, or `u64::MAX` with no candidate).
+    act_tree: MinTree,
+    /// Bank-local ready cycle of each bank's precharge candidate
+    /// (`bank.next_precharge`, or `u64::MAX` with no candidate).
+    pre_tree: MinTree,
+    /// Total queued requests across all bank queues.
+    queue_len: usize,
+    /// Next arrival sequence number.
+    next_seq: u64,
     /// Earliest cycle the next column command may issue (data-bus spacing).
     next_column_cmd: u64,
     /// Cycle and bank group of the last column command (tCCD_L).
@@ -133,9 +156,16 @@ pub struct Channel {
 impl Channel {
     /// Creates an idle channel.
     pub fn new(config: DramConfig) -> Self {
+        let banks = config.banks_per_channel() as usize;
         Channel {
-            banks: vec![BankState::default(); config.banks_per_channel() as usize],
-            queue: VecDeque::with_capacity(config.queue_capacity),
+            banks: vec![BankState::default(); banks],
+            bank_queues: vec![VecDeque::new(); banks],
+            cand: vec![BankCand::default(); banks],
+            col_tree: MinTree::new(banks),
+            act_tree: MinTree::new(banks),
+            pre_tree: MinTree::new(banks),
+            queue_len: 0,
+            next_seq: 0,
             next_column_cmd: 0,
             last_column: None,
             last_activate: None,
@@ -151,17 +181,17 @@ impl Channel {
 
     /// Returns `true` if the queue has space for another request.
     pub fn can_accept(&self) -> bool {
-        self.queue.len() < self.config.queue_capacity
+        self.queue_len < self.config.queue_capacity
     }
 
     /// Number of requests currently queued (not yet issued to a bank).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue_len
     }
 
     /// Number of requests queued or waiting for data return.
     pub fn outstanding(&self) -> usize {
-        self.queue.len() + self.in_flight_reads.len()
+        self.queue_len + self.in_flight_reads.len()
     }
 
     /// Per-channel statistics.
@@ -179,9 +209,11 @@ impl Channel {
             req,
             coord,
             flat_bank: coord.flat_bank(&self.config),
+            seq: self.next_seq,
             enqueued_at: cycle,
             row_result: None,
         };
+        self.next_seq += 1;
         // Enqueueing changes no bank or bus state, so cached predictions for
         // existing entries stay valid; the new entry can only pull the next
         // event earlier. An O(1) min-update keeps issue bursts from forcing
@@ -190,8 +222,64 @@ impl Channel {
             let at = self.entry_earliest(&entry);
             self.queue_next = Some(cached.min(at));
         }
-        self.queue.push_back(entry);
+        // The newest request only becomes a class candidate when its bank
+        // slot was empty (it is the youngest by construction), so the bank
+        // cache updates in O(1) without a rescan.
+        let b = entry.flat_bank;
+        let pos = self.bank_queues[b].len() as u32;
+        match self.banks[b].open_row {
+            None => {
+                if pos == 0 {
+                    self.act_tree.set(b, self.banks[b].next_activate);
+                }
+            }
+            Some(row) if row == entry.coord.row => {
+                if self.cand[b].col.is_none() {
+                    self.cand[b].col = Some((entry.seq, pos));
+                    self.col_tree.set(b, self.banks[b].next_column);
+                }
+            }
+            Some(_) => {
+                if self.cand[b].pre.is_none() {
+                    self.cand[b].pre = Some((entry.seq, pos));
+                    self.pre_tree.set(b, self.banks[b].next_precharge);
+                }
+            }
+        }
+        self.bank_queues[b].push_back(entry);
+        self.queue_len += 1;
         true
+    }
+
+    /// Bank group of a flat bank index (banks are bank-group-major).
+    /// Channel-global earliest-issue floor for a column command targeting
+    /// `group`: command/data-bus spacing plus same-group tCCD_L.
+    fn col_floor(&self, group: u32) -> u64 {
+        let mut at = self.next_column_cmd;
+        if let Some((when, g)) = self.last_column {
+            if g == group {
+                at = at.max(when + self.config.t_ccd_l);
+            }
+        }
+        at
+    }
+
+    /// Channel-global earliest-issue floor for an activate targeting
+    /// `group`: the tFAW window plus same/cross-group tRRD.
+    fn act_floor(&self, group: u32) -> u64 {
+        let mut at = 0;
+        if self.recent_activates.len() >= 4 {
+            at = self.recent_activates[self.recent_activates.len() - 4] + self.config.t_faw;
+        }
+        if let Some((when, g)) = self.last_activate {
+            let gap = if g == group {
+                self.config.t_rrd_l
+            } else {
+                self.config.t_rrd_s
+            };
+            at = at.max(when + gap);
+        }
+        at
     }
 
     /// The earliest cycle at which `q` could become actionable given the
@@ -201,33 +289,176 @@ impl Channel {
         let bank = &self.banks[q.flat_bank];
         match bank.open_row {
             Some(row) if row == q.coord.row => {
-                let mut at = bank.next_column.max(self.next_column_cmd);
-                if let Some((when, group)) = self.last_column {
-                    if group == q.coord.bank_group {
-                        at = at.max(when + self.config.t_ccd_l);
-                    }
-                }
-                at
+                bank.next_column.max(self.col_floor(q.coord.bank_group))
             }
             Some(_) => bank.next_precharge,
+            None => bank.next_activate.max(self.act_floor(q.coord.bank_group)),
+        }
+    }
+
+    /// Rebuilds bank `b`'s candidate cache and its three tree leaves from
+    /// the bank's queue and open row. O(bank queue length + log B); called
+    /// only when the bank itself is touched (issue to it, or its open row
+    /// changes), never for cold banks.
+    fn refresh_bank(&mut self, b: usize) {
+        let bank = self.banks[b];
+        let queue = &self.bank_queues[b];
+        let mut cand = BankCand::default();
+        let (col_local, act_local, pre_local) = match bank.open_row {
             None => {
-                let mut at = bank.next_activate;
-                if self.recent_activates.len() >= 4 {
-                    at = at.max(
-                        self.recent_activates[self.recent_activates.len() - 4] + self.config.t_faw,
-                    );
+                let act = if queue.is_empty() {
+                    u64::MAX
+                } else {
+                    bank.next_activate
+                };
+                (u64::MAX, act, u64::MAX)
+            }
+            Some(row) => {
+                for (i, e) in queue.iter().enumerate() {
+                    if e.coord.row == row {
+                        if cand.col.is_none() {
+                            cand.col = Some((e.seq, i as u32));
+                        }
+                    } else if cand.pre.is_none() {
+                        cand.pre = Some((e.seq, i as u32));
+                    }
+                    if cand.col.is_some() && cand.pre.is_some() {
+                        break;
+                    }
                 }
-                if let Some((when, group)) = self.last_activate {
-                    let gap = if group == q.coord.bank_group {
-                        self.config.t_rrd_l
-                    } else {
-                        self.config.t_rrd_s
-                    };
-                    at = at.max(when + gap);
+                let col = if cand.col.is_some() {
+                    bank.next_column
+                } else {
+                    u64::MAX
+                };
+                let pre = if cand.pre.is_some() {
+                    bank.next_precharge
+                } else {
+                    u64::MAX
+                };
+                (col, u64::MAX, pre)
+            }
+        };
+        self.cand[b] = cand;
+        self.col_tree.set(b, col_local);
+        self.act_tree.set(b, act_local);
+        self.pre_tree.set(b, pre_local);
+    }
+
+    /// Oldest bank candidate whose column command is ready at `cycle`
+    /// (FR-FCFS pass 1). Returns the bank and queue position.
+    fn pick_column(&self, cycle: u64) -> Option<(usize, u32)> {
+        // The tree leaves mirror exactly the per-bank ready test below
+        // (`next_column` when a same-row candidate exists, else MAX), so the
+        // running minima prune the pass in O(1) and dead groups in O(1) each.
+        if self.col_tree.min() > cycle {
+            return None;
+        }
+        let mut best: Option<(u64, usize, u32)> = None;
+        let bpg = self.config.banks_per_group as usize;
+        let aligned = bpg.is_power_of_two();
+        for g in 0..self.config.bank_groups as usize {
+            if aligned && self.col_tree.subtree_min(g * bpg, bpg) > cycle {
+                continue;
+            }
+            // The floor is a per-group constant for this cycle: hoist it out
+            // of the bank scan (it is also the only group-dependent term,
+            // which keeps the inner loop free of bank→group arithmetic).
+            let floor = self.col_floor(g as u32);
+            if floor > cycle {
+                continue;
+            }
+            for b in g * bpg..(g + 1) * bpg {
+                if let Some((seq, pos)) = self.cand[b].col {
+                    if self.banks[b].next_column <= cycle && best.is_none_or(|(s, _, _)| seq < s) {
+                        best = Some((seq, b, pos));
+                    }
                 }
-                at
             }
         }
+        best.map(|(_, b, pos)| (b, pos))
+    }
+
+    /// Oldest bank whose activate is ready at `cycle` (FR-FCFS pass 2).
+    fn pick_activate(&self, cycle: u64) -> Option<usize> {
+        if self.act_tree.min() > cycle {
+            return None;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        let bpg = self.config.banks_per_group as usize;
+        let aligned = bpg.is_power_of_two();
+        for g in 0..self.config.bank_groups as usize {
+            if aligned && self.act_tree.subtree_min(g * bpg, bpg) > cycle {
+                continue;
+            }
+            let floor = self.act_floor(g as u32);
+            if floor > cycle {
+                continue;
+            }
+            for b in g * bpg..(g + 1) * bpg {
+                if self.banks[b].open_row.is_some() {
+                    continue;
+                }
+                let seq = match self.bank_queues[b].front() {
+                    Some(front) => front.seq,
+                    None => continue,
+                };
+                if self.banks[b].next_activate <= cycle && best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, b));
+                }
+            }
+        }
+        best.map(|(_, b)| b)
+    }
+
+    /// Oldest bank candidate whose precharge is ready at `cycle`
+    /// (FR-FCFS pass 3). Returns the bank and queue position.
+    fn pick_precharge(&self, cycle: u64) -> Option<(usize, u32)> {
+        if self.pre_tree.min() > cycle {
+            return None;
+        }
+        let mut best: Option<(u64, usize, u32)> = None;
+        for b in 0..self.banks.len() {
+            if let Some((seq, pos)) = self.cand[b].pre {
+                let at = self.banks[b].next_precharge;
+                if at <= cycle && best.is_none_or(|(s, _, _)| seq < s) {
+                    best = Some((seq, b, pos));
+                }
+            }
+        }
+        best.map(|(_, b, pos)| (b, pos))
+    }
+
+    /// Earliest cycle at which any queued request becomes actionable: the
+    /// per-class tree minima per bank group combined with that group's
+    /// channel-global floor. O(groups × log B) — no per-request scan.
+    fn compute_next_actionable(&self) -> u64 {
+        let mut next = self.pre_tree.min();
+        let bpg = self.config.banks_per_group as usize;
+        // Bank-group-major layout makes each group an aligned block; when
+        // the group width is a power of two (all shipped geometries) the
+        // block is one subtree and its minimum one O(1) node lookup.
+        let aligned = bpg.is_power_of_two();
+        for g in 0..self.config.bank_groups as usize {
+            let (lo, hi) = (g * bpg, (g + 1) * bpg);
+            let col = if aligned {
+                self.col_tree.subtree_min(lo, bpg)
+            } else {
+                self.col_tree.range_min(lo, hi)
+            };
+            if col != u64::MAX {
+                next = next.min(col.max(self.col_floor(g as u32)));
+            }
+            let act = if aligned {
+                self.act_tree.subtree_min(lo, bpg)
+            } else {
+                self.act_tree.range_min(lo, hi)
+            };
+            if act != u64::MAX {
+                next = next.min(act.max(self.act_floor(g as u32)));
+            }
+        }
+        next
     }
 
     /// Returns `true` if completions are waiting to be drained.
@@ -254,7 +485,7 @@ impl Channel {
     pub fn tick(&mut self, cycle: u64) -> ChannelTickResult {
         // Fast path: no read data due and no queued request actionable.
         if self.inflight_next > cycle && self.queue_next.is_some_and(|qn| qn > cycle) {
-            self.stats.queue_occupancy_sum += self.queue.len() as u64;
+            self.stats.queue_occupancy_sum += self.queue_len as u64;
             return ChannelTickResult::default();
         }
         let mut result = ChannelTickResult::default();
@@ -280,71 +511,33 @@ impl Channel {
                 .unwrap_or(u64::MAX);
         }
 
-        self.stats.queue_occupancy_sum += self.queue.len() as u64;
-        if self.queue.is_empty() {
+        self.stats.queue_occupancy_sum += self.queue_len as u64;
+        if self.queue_len == 0 {
             // Re-arm the fast path once the last queued request has issued.
             self.queue_next = Some(u64::MAX);
         } else if self.queue_next.is_none_or(|qn| qn <= cycle) {
-            // One fused FR-FCFS scan finds the command to issue this cycle
-            // (pass 1: oldest ready column; pass 2: oldest ready activate;
-            // pass 3: oldest ready precharge) and, as a by-product, the
-            // earliest cycle at which any queued request could act — which
-            // becomes the queue-side prediction when nothing issues.
-            let scan = self.scan_schedule(cycle);
-            if let Some(idx) = scan.column {
-                result.completions |= self.issue_column(idx, cycle);
+            // FR-FCFS over the cached per-bank candidates (pass 1: oldest
+            // ready column; pass 2: oldest ready activate; pass 3: oldest
+            // ready precharge); when nothing issues, the per-class trees
+            // yield the earliest cycle at which any queued request could act
+            // — which becomes the queue-side prediction.
+            if let Some((b, pos)) = self.pick_column(cycle) {
+                result.completions |= self.issue_column(b, pos, cycle);
                 result.issued = true;
                 self.queue_next = None;
-            } else if let Some(idx) = scan.activate {
-                self.issue_activate(idx, cycle);
+            } else if let Some(b) = self.pick_activate(cycle) {
+                self.issue_activate(b, cycle);
                 result.issued = true;
                 self.queue_next = None;
-            } else if let Some(idx) = scan.precharge {
-                self.issue_precharge(idx, cycle);
+            } else if let Some((b, pos)) = self.pick_precharge(cycle) {
+                self.issue_precharge(b, pos, cycle);
                 result.issued = true;
                 self.queue_next = None;
             } else {
-                self.queue_next = Some(scan.next_actionable);
+                self.queue_next = Some(self.compute_next_actionable());
             }
         }
         result
-    }
-
-    /// The fused FR-FCFS scheduling scan: the oldest actionable request per
-    /// pass, plus the earliest cycle at which *any* queued request becomes
-    /// actionable (the queue-side component of the next-event prediction).
-    fn scan_schedule(&self, cycle: u64) -> ScheduleScan {
-        let mut scan = ScheduleScan::default();
-        for (i, q) in self.queue.iter().enumerate() {
-            let at = self.entry_earliest(q);
-            scan.next_actionable = scan.next_actionable.min(at);
-            if at > cycle {
-                continue;
-            }
-            let bank = &self.banks[q.flat_bank];
-            match bank.open_row {
-                Some(row) if row == q.coord.row => {
-                    // Pass 1 outranks the others and picks the oldest ready
-                    // column, so the first hit ends the scan; later entries
-                    // cannot preempt it and `next_actionable` is only needed
-                    // on no-issue ticks (the caller drops the cache when a
-                    // command issues).
-                    scan.column = Some(i);
-                    return scan;
-                }
-                Some(_) => {
-                    if scan.precharge.is_none() {
-                        scan.precharge = Some(i);
-                    }
-                }
-                None => {
-                    if scan.activate.is_none() {
-                        scan.activate = Some(i);
-                    }
-                }
-            }
-        }
-        scan
     }
 
     /// The earliest cycle `>= now` at which a [`Channel::tick`] could do
@@ -362,9 +555,8 @@ impl Channel {
         let queue_next = match self.queue_next {
             Some(at) => at,
             None => {
-                // `scan_schedule`'s next_actionable term is cycle-
-                // independent, so any cycle below the thresholds works.
-                let at = self.scan_schedule(0).next_actionable;
+                // The per-bank trees make the recompute O(groups × log B).
+                let at = self.compute_next_actionable();
                 self.queue_next = Some(at);
                 at
             }
@@ -382,15 +574,18 @@ impl Channel {
     /// `skipped` times strictly before [`Channel::next_event_cycle`] (each
     /// such tick only adds the frozen queue length to the occupancy sum).
     pub fn skip_cycles(&mut self, skipped: u64) {
-        self.stats.queue_occupancy_sum += self.queue.len() as u64 * skipped;
+        self.stats.queue_occupancy_sum += self.queue_len as u64 * skipped;
     }
 
     /// Issues a column command; returns `true` if it produced an immediate
     /// completion (writes are posted).
-    fn issue_column(&mut self, idx: usize, cycle: u64) -> bool {
-        let q = self.queue.remove(idx).expect("index from scan");
+    fn issue_column(&mut self, b: usize, pos: u32, cycle: u64) -> bool {
+        let q = self.bank_queues[b]
+            .remove(pos as usize)
+            .expect("candidate position from bank cache");
+        self.queue_len -= 1;
         let cfg = self.config;
-        let bank = &mut self.banks[q.flat_bank];
+        let bank = &mut self.banks[b];
         let row_result = q.row_result.unwrap_or(RowBufferResult::Hit);
         match row_result {
             RowBufferResult::Hit => self.stats.row_hits += 1,
@@ -402,7 +597,7 @@ impl Channel {
         self.last_column = Some((cycle, q.coord.bank_group));
         self.stats.data_bus_busy_cycles += cfg.t_bl;
 
-        match q.req.kind {
+        let completed = match q.req.kind {
             MemOpKind::Read => {
                 let data_ready = cycle + cfg.t_cl + cfg.t_bl;
                 bank.next_precharge = bank.next_precharge.max(cycle + cfg.t_rtp);
@@ -437,19 +632,24 @@ impl Channel {
                 });
                 true
             }
-        }
+        };
+        self.refresh_bank(b);
+        completed
     }
 
-    fn issue_activate(&mut self, idx: usize, cycle: u64) {
+    fn issue_activate(&mut self, b: usize, cycle: u64) {
         let cfg = self.config;
-        let (flat_bank, row, bank_group) = {
-            let q = &mut self.queue[idx];
+        let (row, bank_group) = {
+            let q = self.bank_queues[b]
+                .front_mut()
+                // audit:allow(unwrap, pick_activate only selects banks whose act-tree leaf is finite, which requires a nonempty queue)
+                .expect("activate candidate from bank cache");
             if q.row_result.is_none() {
                 q.row_result = Some(RowBufferResult::Miss);
             }
-            (q.flat_bank, q.coord.row, q.coord.bank_group)
+            (q.coord.row, q.coord.bank_group)
         };
-        let bank = &mut self.banks[flat_bank];
+        let bank = &mut self.banks[b];
         bank.open_row = Some(row);
         bank.next_column = cycle + cfg.t_rcd;
         bank.next_precharge = cycle + cfg.t_ras;
@@ -460,19 +660,17 @@ impl Channel {
             self.recent_activates.pop_front();
         }
         self.stats.activates += 1;
+        self.refresh_bank(b);
     }
 
-    fn issue_precharge(&mut self, idx: usize, cycle: u64) {
+    fn issue_precharge(&mut self, b: usize, pos: u32, cycle: u64) {
         let cfg = self.config;
-        let flat_bank = {
-            let q = &mut self.queue[idx];
-            q.row_result = Some(RowBufferResult::Conflict);
-            q.flat_bank
-        };
-        let bank = &mut self.banks[flat_bank];
+        self.bank_queues[b][pos as usize].row_result = Some(RowBufferResult::Conflict);
+        let bank = &mut self.banks[b];
         bank.open_row = None;
         bank.next_activate = bank.next_activate.max(cycle + cfg.t_rp);
         self.stats.precharges += 1;
+        self.refresh_bank(b);
     }
 }
 
@@ -672,5 +870,95 @@ mod tests {
             cycle < min_cycles * 3,
             "streaming far below peak: {cycle} vs {min_cycles}"
         );
+    }
+
+    #[test]
+    fn rejected_enqueue_then_skip_window_never_jumps_past_the_retry_cycle() {
+        // Satellite regression (ISSUE 10): a full queue rejects an enqueue;
+        // the caller's retry becomes possible exactly when the next column
+        // command frees a slot. The next-event prediction must come due at
+        // or before that cycle — a stale cached prediction would let a skip
+        // window jump the clock past the retry point, delaying the retried
+        // request relative to the per-cycle reference loop.
+        let cfg = DramConfig {
+            queue_capacity: 4,
+            ..DramConfig::ddr4_3200_single_channel()
+        };
+        let m = AddressMapper::new(cfg);
+        let mut ch = Channel::new(cfg);
+        for i in 0..4u64 {
+            let addr = i * 64;
+            assert!(ch.enqueue(MemRequest::read(i, addr), m.map(addr), 0));
+        }
+        assert!(!ch.enqueue(MemRequest::read(99, 4 * 64), m.map(4 * 64), 0));
+
+        // Drive a reference clone cycle by cycle to find the true first
+        // cycle at which space frees (the first column issue).
+        let mut reference = ch.clone();
+        let mut free_at = None;
+        for cycle in 0..10_000 {
+            reference.tick(cycle);
+            reference.drain_completed();
+            if reference.can_accept() {
+                free_at = Some(cycle);
+                break;
+            }
+        }
+        let free_at = free_at.expect("queue never freed");
+
+        // Now drive the original exactly as the event-driven runner would:
+        // jump to each predicted event, tick it, repeat. The clock must
+        // visit a cycle <= free_at with capacity available — i.e. the
+        // prediction chain never skips over the retry opportunity.
+        let mut cycle = 0u64;
+        loop {
+            let next = ch
+                .next_event_cycle(cycle)
+                .expect("busy channel must predict an event");
+            assert!(
+                next >= cycle,
+                "prediction {next} went backwards from {cycle}"
+            );
+            for idle in cycle..next {
+                let r = ch.tick(idle);
+                assert!(!r.any(), "tick at {idle} acted before predicted {next}");
+                assert!(
+                    !ch.can_accept() || idle >= free_at,
+                    "capacity freed at {idle} without an observable event"
+                );
+            }
+            ch.tick(next);
+            ch.drain_completed();
+            cycle = next + 1;
+            if ch.can_accept() {
+                assert!(
+                    next <= free_at,
+                    "event-driven path freed capacity at {next}, reference at {free_at}: \
+                     a skip window would have jumped past the retry cycle"
+                );
+                break;
+            }
+            assert!(cycle < 10_000, "did not converge");
+        }
+        // The retry itself must now succeed.
+        assert!(ch.enqueue(MemRequest::read(99, 4 * 64), m.map(4 * 64), cycle));
+    }
+
+    #[test]
+    fn per_bank_scheduler_matches_reference_single_queue_semantics() {
+        // Age ordering across banks: two activate-ready banks must issue in
+        // arrival order even though the younger request sits in a different
+        // bank queue.
+        let (mut ch, m) = channel_and_mapper();
+        let cfg = DramConfig::ddr4_3200_single_channel();
+        let bank_stride = cfg.row_bytes * u64::from(cfg.channels);
+        let (a, b) = (3 * bank_stride, 7 * bank_stride);
+        assert!(ch.enqueue(MemRequest::read(1, a), m.map(a), 0));
+        assert!(ch.enqueue(MemRequest::read(2, b), m.map(b), 0));
+        let done = run_until_complete(&mut ch, 2, 5_000);
+        // Same timing parameters per bank: the older request's activate
+        // (and data) must come first.
+        assert_eq!(done[0].id.0, 1);
+        assert_eq!(done[1].id.0, 2);
     }
 }

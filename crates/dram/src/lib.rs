@@ -20,8 +20,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod address;
+pub mod calendar;
 pub mod channel;
 pub mod config;
+pub mod mintree;
 pub mod profile;
 pub mod request;
 pub mod stats;

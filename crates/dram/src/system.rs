@@ -1,6 +1,7 @@
 //! The multi-channel DRAM system presented to the ORAM controller.
 
 use crate::address::AddressMapper;
+use crate::calendar::CalendarQueue;
 use crate::channel::{Channel, ChannelTickResult};
 use crate::config::DramConfig;
 use crate::request::{MemCompletion, MemRequest};
@@ -28,6 +29,13 @@ pub struct DramSystem {
     config: DramConfig,
     mapper: AddressMapper,
     channels: Vec<Channel>,
+    /// Calendar queue over per-channel next-event cycles: each channel is
+    /// one event source, refreshed only when that channel's state changes
+    /// (a command issue, a data return, or an enqueue), so
+    /// [`DramSystem::next_event_cycle`] answers from the wheel instead of
+    /// re-querying every channel — the structure that keeps the query cheap
+    /// when sharded runs multiply event sources.
+    calendar: CalendarQueue,
     cycle: u64,
 }
 
@@ -45,6 +53,7 @@ impl DramSystem {
         DramSystem {
             mapper: AddressMapper::new(config),
             channels: (0..config.channels).map(|_| Channel::new(config)).collect(),
+            calendar: CalendarQueue::new(config.channels as usize),
             cycle: 0,
             config,
         }
@@ -70,32 +79,69 @@ impl DramSystem {
     /// channel's queue is full (the caller retries on a later cycle).
     pub fn try_enqueue(&mut self, req: MemRequest) -> bool {
         let coord = self.mapper.map(req.addr);
-        self.channels[coord.channel as usize].enqueue(req, coord, self.cycle)
+        let ch = coord.channel as usize;
+        if !self.channels[ch].enqueue(req, coord, self.cycle) {
+            return false;
+        }
+        // The new request can only pull this channel's next event earlier;
+        // refresh its calendar key (O(1): the channel min-updates its own
+        // cache on enqueue).
+        let key = self.channels[ch]
+            .next_event_cycle(self.cycle)
+            .unwrap_or(u64::MAX);
+        self.calendar.schedule(ch, key);
+        true
     }
 
     /// Advances all channels by one memory-clock cycle, reporting what the
     /// tick observably did across channels — the event-driven runner derives
     /// its time-skipping preconditions from the result.
     pub fn tick(&mut self) -> ChannelTickResult {
+        self.skip_to_and_tick(self.cycle)
+    }
+
+    /// Skips to `event_cycle` (which must be provably quiet for every
+    /// channel, i.e. strictly before [`DramSystem::next_event_cycle`] unless
+    /// equal to the current cycle) and executes the tick of that cycle, in a
+    /// single pass over the channels. Channels whose calendar key lies
+    /// beyond `event_cycle` are *not due*: their per-cycle tick would take
+    /// its O(1) fast path for every cycle through the event, so the whole
+    /// stretch folds into one bulk [`Channel::skip_cycles`] without entering
+    /// the channel's tick at all. Ends with the clock at `event_cycle + 1`.
+    pub fn skip_to_and_tick(&mut self, event_cycle: u64) -> ChannelTickResult {
+        debug_assert!(event_cycle >= self.cycle);
+        let gap = event_cycle - self.cycle;
         let mut result = ChannelTickResult::default();
-        for channel in &mut self.channels {
-            let r = channel.tick(self.cycle);
+        for (i, channel) in self.channels.iter_mut().enumerate() {
+            // The calendar key is the channel's exact next-event prediction
+            // (refreshed on enqueue and whenever a tick can move it), so a
+            // key beyond the event cycle proves the fast path for the whole
+            // stretch including the tick itself.
+            if self.calendar.key(i) > event_cycle {
+                channel.skip_cycles(gap + 1);
+                continue;
+            }
+            channel.skip_cycles(gap);
+            let r = channel.tick(event_cycle);
             result.issued |= r.issued;
             result.completions |= r.completions;
+            // The key came due (or the tick acted): refresh the prediction.
+            let key = channel
+                .next_event_cycle(event_cycle + 1)
+                .unwrap_or(u64::MAX);
+            self.calendar.schedule(i, key);
         }
-        self.cycle += 1;
+        self.cycle = event_cycle + 1;
         result
     }
 
     /// The earliest cycle `>=` the current cycle at which any channel could
-    /// do observable work, or `None` if the whole system is idle. See
+    /// do observable work, or `None` if the whole system is idle. Answered
+    /// from the calendar queue (see [`CalendarQueue`]); see
     /// [`Channel::next_event_cycle`] for the exactness argument.
     pub fn next_event_cycle(&mut self) -> Option<u64> {
         let now = self.cycle;
-        self.channels
-            .iter_mut()
-            .filter_map(|c| c.next_event_cycle(now))
-            .min()
+        self.calendar.peek_min(now).map(|(key, _)| key.max(now))
     }
 
     /// Advances the clock by `skipped` provably-idle cycles, performing the

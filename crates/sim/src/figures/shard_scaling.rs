@@ -14,7 +14,7 @@
 //! results either way, which `examples/shard_scaling.rs` re-checks under
 //! `PALERMO_SERIAL_CHECK=1`.
 
-use crate::runner::EventStepper;
+use crate::runner::CalendarStepper;
 use crate::schemes::Scheme;
 use crate::shard::{SerialShardStepper, ShardStepper, ShardedSystem};
 use crate::system::SystemConfig;
@@ -94,7 +94,7 @@ pub fn run_with(
                 WorkloadSpec::Sharded(ShardSpec::new(shards, ShardRouterKind::Hash, inner.clone()));
             spec.validate()?;
             let system = ShardedSystem::new(scheme, &spec, config)?;
-            let metrics = shard_stepper.run(&system, &EventStepper)?;
+            let metrics = shard_stepper.run(&system, &CalendarStepper)?;
             debug_assert!(metrics.shard_conservation_ok());
             let rate = metrics.accesses_per_cycle();
             if shards == 1 {

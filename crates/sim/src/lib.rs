@@ -21,8 +21,9 @@ pub use experiment::{
     Executor, Experiment, ResultSet, RunRecord, RunSpec, SerialExecutor, ThreadPoolExecutor,
 };
 pub use runner::{
-    run_workload, run_workload_spec, run_workload_spec_stepped, run_workload_stepped, EventStepper,
-    ReferenceStepper, RunMetrics, ShardMetrics, Stepper, TenantMetrics,
+    run_workload, run_workload_spec, run_workload_spec_stepped, run_workload_stepped,
+    CalendarStepper, EventStepper, ReferenceStepper, RunMetrics, ShardMetrics, Stepper,
+    TenantMetrics,
 };
 pub use schemes::Scheme;
 pub use serving::{

@@ -639,6 +639,117 @@ impl Stepper for EventStepper {
     }
 }
 
+/// The settled-window stepper: like [`EventStepper`], but when the
+/// controller is settled while DRAM traffic is still draining it does not
+/// hand control back after a single jump. It keeps executing DRAM event
+/// ticks *inside* `advance_idle` — replaying the controller's per-cycle
+/// accounting in bulk between them — until something the controller must
+/// react to happens (a completion, a compute-countdown expiry, or an
+/// open-loop arrival). Backed by the DRAM system's calendar queue for the
+/// next-event lookups, hence the name.
+///
+/// Correctness rests on the window's freeze argument: with the controller
+/// settled, no pending completions, nothing to stage and the enqueue path
+/// unblocked, every controller readiness predicate (dependency counts,
+/// predecessor gating, retirement, submission capacity) is a pure function
+/// of state only completions or countdown expiries can change. Interior
+/// DRAM ticks issue commands but complete nothing, so the reference loop
+/// would have run one inert controller tick per cycle — exactly what
+/// [`OramController::skip_cycles`] replays, segmented at each interior DRAM
+/// tick so the stall-accounting rule always sees the queue depth the
+/// reference controller tick would have seen. Queue-full retries are the
+/// one exception (a freed slot un-blocks the controller without a
+/// completion), so a blocked enqueue falls back to the single-jump move.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CalendarStepper;
+
+impl Stepper for CalendarStepper {
+    fn advance_idle(
+        &self,
+        controller: &mut OramController,
+        dram: &mut DramSystem,
+        quiescent: bool,
+        external_next: Option<u64>,
+    ) {
+        if !quiescent || dram.has_pending_completions() {
+            return;
+        }
+        // Events the controller must run a real tick for, as one absolute
+        // bound. The wakeup stays valid across the whole window: skipped
+        // cycles decrement every countdown in lock step, so the expiry
+        // cycle is invariant.
+        let wakeup = controller
+            .next_wakeup(dram.cycle())
+            .unwrap_or(u64::MAX)
+            .min(external_next.unwrap_or(u64::MAX));
+        if controller.enqueue_blocked() {
+            // A DRAM issue can free the slot a rejected enqueue retries
+            // into: the retry cycle is the DRAM's next event, so jump to it
+            // and let the main loop run the real iteration there.
+            let now = dram.cycle();
+            let next = match dram.next_event_cycle() {
+                Some(e) => e.min(wakeup),
+                None => wakeup,
+            };
+            if next != u64::MAX && next > now {
+                controller.skip_cycles(next - now, dram.queued());
+                dram.skip_cycles(next - now);
+            }
+            return;
+        }
+        // Controller-side accounting for the whole window folds into two
+        // counters: total quiet cycles, and the subset with a DRAM queue
+        // depth below the stall threshold (the only per-segment input the
+        // stall rule reads — everything else is frozen). One
+        // [`OramController::skip_cycles_window`] call flushes them, so the
+        // countdown lists are walked once per window instead of once per
+        // interior DRAM command.
+        let mut total = 0u64;
+        let mut stalled = 0u64;
+        loop {
+            let now = dram.cycle();
+            let dram_next = dram.next_event_cycle().unwrap_or(u64::MAX);
+            if dram_next >= wakeup {
+                // The controller acts first (or simultaneously: the
+                // reference loop runs the controller tick before the DRAM
+                // tick of the same cycle). Stop at the bound.
+                if wakeup != u64::MAX && wakeup > now {
+                    let seg = wakeup - now;
+                    total += seg;
+                    if dram.queued() < 4 {
+                        stalled += seg;
+                    }
+                    dram.skip_cycles(seg);
+                }
+                controller.skip_cycles_window(total, stalled);
+                return;
+            }
+            if dram_next == u64::MAX {
+                // DRAM idle and no controller event pending: the next
+                // iteration stages work or the run is over; single-step.
+                controller.skip_cycles_window(total, stalled);
+                return;
+            }
+            // The DRAM acts strictly before anything the controller reacts
+            // to: account the inert controller cycles through the event
+            // (the queue depth is frozen until the tick below), then
+            // execute the one DRAM tick the reference loop would have.
+            let seg = dram_next - now + 1;
+            total += seg;
+            if dram.queued() < 4 {
+                stalled += seg;
+            }
+            let result = dram.skip_to_and_tick(dram_next);
+            if result.completions {
+                // The controller routes these on the next real tick.
+                controller.skip_cycles_window(total, stalled);
+                return;
+            }
+            debug_assert!(result.issued, "DRAM event tick at {dram_next} did nothing");
+        }
+    }
+}
+
 fn dram_delta(end: &DramStats, start: &DramStats) -> DramStats {
     DramStats {
         cycles: end.cycles - start.cycles,
@@ -666,7 +777,7 @@ pub fn run_workload(
     workload: Workload,
     config: &SystemConfig,
 ) -> OramResult<RunMetrics> {
-    run_workload_stepped(scheme, workload, config, &EventStepper)
+    run_workload_stepped(scheme, workload, config, &CalendarStepper)
 }
 
 /// Simulates one (scheme, workload spec) pair under the given
@@ -683,7 +794,7 @@ pub fn run_workload_spec(
     spec: &WorkloadSpec,
     config: &SystemConfig,
 ) -> OramResult<RunMetrics> {
-    run_workload_spec_stepped(scheme, spec, config, &EventStepper)
+    run_workload_spec_stepped(scheme, spec, config, &CalendarStepper)
 }
 
 /// Simulates a run with explicitly supplied protocol and controller
@@ -710,7 +821,7 @@ pub fn run_with_configs(
         &WorkloadSpec::Table2(workload),
         config,
         prefetch_length,
-        &EventStepper,
+        &CalendarStepper,
     )
 }
 
@@ -734,12 +845,12 @@ pub fn run_with_configs_spec(
         spec,
         config,
         prefetch_length,
-        &EventStepper,
+        &CalendarStepper,
     )
 }
 
 /// Simulates one (scheme, workload) pair under an explicit clock-advance
-/// strategy. [`run_workload`] uses the [`EventStepper`]; passing
+/// strategy. [`run_workload`] uses the [`CalendarStepper`]; passing
 /// [`ReferenceStepper`] reproduces the seed per-cycle loop for equivalence
 /// checking.
 ///
@@ -1000,6 +1111,7 @@ or raise protected_bytes)",
 
     let sample_every = (config.measured_requests / 100).max(1);
 
+    // TEMP instrumentation (removed before commit).
     while finished_real < total_requests {
         // Deliver every open-loop arrival up to the current cycle into the
         // admission queue (a no-op for closed-loop runs).

@@ -8,9 +8,15 @@
 //! per-request latency — for every (scheme, workload) pair of the paper's
 //! grid under the `small_for_tests` configuration.
 
-use palermo::sim::runner::{run_workload_stepped, EventStepper, ReferenceStepper};
+use palermo::sim::runner::{
+    run_workload_spec_stepped, run_workload_stepped, CalendarStepper, EventStepper,
+    ReferenceStepper,
+};
 use palermo::sim::schemes::Scheme;
 use palermo::sim::system::SystemConfig;
+use palermo::sim::{
+    PooledShardStepper, SerialShardStepper, ShardStepper, ShardedSystem, WorkloadSpec,
+};
 use palermo::workloads::Workload;
 
 /// Asserts byte-identical metrics, with a field-by-field message on failure
@@ -68,6 +74,68 @@ fn event_core_is_cycle_exact_with_zero_warmup() {
     for scheme in [Scheme::RingOram, Scheme::Palermo, Scheme::PrOram] {
         assert_equivalent(scheme, Workload::Random, &cfg);
     }
+}
+
+/// A starved DRAM queue keeps the equivalence contract: with per-channel
+/// queue capacity cut to 2, the controller's issue pass is rejected
+/// constantly, exercising the enqueue-blocked retry path where the stepper
+/// must not jump past the cycle a freed slot un-blocks the retry
+/// (regression coverage for the next-event staleness bugfix, at the runner
+/// level rather than the channel level).
+#[test]
+fn tiny_dram_queues_stay_cycle_exact_under_time_skipping() {
+    let mut cfg = SystemConfig::small_for_tests();
+    cfg.dram.queue_capacity = 2;
+    for scheme in [Scheme::RingOram, Scheme::Palermo] {
+        let reference =
+            run_workload_stepped(scheme, Workload::Mcf, &cfg, &ReferenceStepper).unwrap();
+        let calendar = run_workload_stepped(scheme, Workload::Mcf, &cfg, &CalendarStepper).unwrap();
+        assert_eq!(
+            reference, calendar,
+            "{scheme}: RunMetrics diverged under queue_capacity=2"
+        );
+    }
+}
+
+/// Composed workload specs keep the equivalence contract: an `open:` spec
+/// (arrival process + admission queue wrapped around the closed-loop core)
+/// produces byte-identical [`palermo::sim::runner::RunMetrics`] under the
+/// per-cycle reference and the settled-window calendar core.
+#[test]
+fn calendar_core_is_cycle_exact_for_open_loop_specs() {
+    let cfg = SystemConfig::small_for_tests();
+    for name in ["open:poisson:0.05:random", "open:bursty:0.2:2000:6000:mcf"] {
+        let spec = WorkloadSpec::from_name(name).unwrap();
+        let reference = run_workload_spec_stepped(Scheme::RingOram, &spec, &cfg, &ReferenceStepper)
+            .unwrap_or_else(|e| panic!("reference run failed for {name}: {e}"));
+        let calendar = run_workload_spec_stepped(Scheme::RingOram, &spec, &cfg, &CalendarStepper)
+            .unwrap_or_else(|e| panic!("calendar run failed for {name}: {e}"));
+        assert_eq!(reference, calendar, "{name}: RunMetrics diverged");
+    }
+}
+
+/// A `shard:<K>` composed spec under the calendar core is byte-identical to
+/// the per-cycle reference, and byte-identical across both shard executors
+/// (serial and thread-pooled) — sharding, stepping and scheduling must all
+/// be determinism-preserving at once.
+#[test]
+fn sharded_specs_are_cycle_exact_under_the_calendar_core_on_both_executors() {
+    let cfg = SystemConfig::small_for_tests();
+    let spec = WorkloadSpec::from_name("shard:2:hash:random").unwrap();
+    let system = ShardedSystem::new(Scheme::RingOram, &spec, &cfg).unwrap();
+
+    let reference = ShardStepper::run(&SerialShardStepper, &system, &ReferenceStepper).unwrap();
+    let serial = ShardStepper::run(&SerialShardStepper, &system, &CalendarStepper).unwrap();
+    let pooled = ShardStepper::run(&PooledShardStepper::new(2), &system, &CalendarStepper).unwrap();
+
+    assert_eq!(
+        reference, serial,
+        "shard:2: calendar core diverged from the per-cycle reference"
+    );
+    assert_eq!(
+        serial, pooled,
+        "shard:2: pooled executor diverged from the serial executor"
+    );
 }
 
 /// With `warmup_requests = 0` the measured window must open before the first
